@@ -1,0 +1,74 @@
+"""Ablation benchmark: packer window count and PAFT alignment strength.
+
+These are the extra design-choice ablations DESIGN.md calls out beyond the
+paper's own sweeps: how much the multi-window packer helps pack occupancy,
+and how Level 2 density responds to the PAFT alignment strength.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import PhiCalibrator
+from repro.experiments.common import get_workload
+from repro.experiments.fig8 import apply_paft_to_workload
+from repro.experiments.fig10 import element_density
+from repro.hw import ArchConfig, Preprocessor
+
+
+def _pack_utilization(workload, scale, windows: int) -> float:
+    arch = ArchConfig(packer_windows=windows)
+    preprocessor = Preprocessor(arch)
+    calibrator = PhiCalibrator(scale.phi_config())
+    layer = max(workload, key=lambda l: l.m * l.k)
+    calibration = calibrator.calibrate_layer(layer.name, layer.activations)
+    utilizations = []
+    for p, (start, stop) in enumerate(
+        zip(range(0, layer.k, 16), range(16, layer.k + 16, 16))
+    ):
+        tile = layer.activations[: arch.tile_m, start:stop]
+        if tile.shape[1] == 0:
+            continue
+        result = preprocessor.process_tile(
+            tile, calibration.pattern_sets[p], needs_psum=p > 0
+        )
+        if result.packer.packs:
+            utilizations.append(result.packer.average_utilization)
+    return float(np.mean(utilizations)) if utilizations else 0.0
+
+
+def test_ablation_packer_windows(benchmark, scale):
+    workload = get_workload("vgg16", "cifar100", scale)
+
+    def sweep():
+        return {w: _pack_utilization(workload, scale, w) for w in (1, 2, 4)}
+
+    utilization = run_once(benchmark, sweep)
+    print("\n=== Ablation: pack occupancy vs packer window count ===")
+    for windows, value in utilization.items():
+        print(f"  windows={windows}  avg pack occupancy={value:.3f}")
+    # More windows never hurt occupancy (they give the packer more choices).
+    assert utilization[4] >= utilization[1] * 0.95
+    assert all(0.0 < v <= 1.0 for v in utilization.values())
+
+
+def test_ablation_paft_strength(benchmark, scale):
+    workload = get_workload("vgg16", "cifar10", scale)
+
+    def sweep():
+        densities = {}
+        for strength in (0.0, 0.5, 1.0):
+            if strength == 0.0:
+                densities[strength] = element_density(workload, scale)
+            else:
+                aligned = apply_paft_to_workload(
+                    workload, scale, alignment_strength=strength
+                )
+                densities[strength] = element_density(aligned, scale)
+        return densities
+
+    densities = run_once(benchmark, sweep)
+    print("\n=== Ablation: Level 2 density vs PAFT alignment strength ===")
+    for strength, density in densities.items():
+        print(f"  strength={strength:.1f}  element density={density:.4f}")
+    # Stronger alignment monotonically reduces the element density.
+    assert densities[1.0] <= densities[0.5] <= densities[0.0]

@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 1 — activation distribution comparison (t-SNE)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_activation_distributions(benchmark, scale):
+    result = run_once(benchmark, run_fig1, scale, num_rows=160, tsne_iterations=120)
+
+    print("\n=== Fig. 1: activation distribution cluster spread (lower = more clustered) ===")
+    for name, spread in result.spreads().items():
+        print(f"  {name:<8} spread={spread:.3f}")
+    print(f"  SNN top-32-pattern coverage: {result.snn.pattern_coverage:.3f}")
+
+    # SNN spike activations cluster more tightly than normally distributed
+    # noise, and a sizeable share of rows reuse a small pattern set.
+    assert result.snn.cluster_spread < result.normal.cluster_spread * 1.05
+    assert result.snn.pattern_coverage > 0.1

@@ -1,0 +1,64 @@
+"""Benchmark: Fig. 7 — design-space exploration sweeps."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    run_fig7_buffer_sweep,
+    run_fig7_pattern_sweep,
+    run_fig7_tile_sweep,
+)
+
+
+def test_fig7a_b_tile_size_sweep(benchmark, scale):
+    points = run_once(benchmark, run_fig7_tile_sweep, scale, tile_sizes=(4, 8, 16, 32))
+
+    print("\n=== Fig. 7a/b: density and cycles vs K tile size ===")
+    for p in points:
+        print(
+            f"  k={p.k_tile:<3} element={p.element_density:.4f} vector={p.vector_density:.4f} "
+            f"total={p.total_density:.4f} phi_cycles={p.phi_cycles:.3f}"
+        )
+
+    for p in points:
+        assert p.phi_cycles <= p.bit_cycles
+        assert p.optimal_cycles <= p.phi_cycles + 1e-9
+    # A mid-range tile size minimises total density (the paper picks 16).
+    best = min(points, key=lambda p: p.total_density)
+    assert best.k_tile in (8, 16, 32)
+
+
+def test_fig7c_pattern_count_sweep(benchmark, scale):
+    points = run_once(
+        benchmark, run_fig7_pattern_sweep, scale, pattern_counts=(8, 16, 32, 64, 128)
+    )
+
+    print("\n=== Fig. 7c: cycles and PWP memory vs pattern count ===")
+    for p in points:
+        print(
+            f"  q={p.num_patterns:<4} phi_cycles={p.phi_cycles:.3f} "
+            f"pwp_bytes={p.pwp_memory_bytes:.0f}"
+        )
+
+    # More patterns monotonically reduce compute but increase memory access.
+    cycles = [p.phi_cycles for p in points]
+    memory = [p.pwp_memory_bytes for p in points]
+    assert cycles[-1] <= cycles[0]
+    assert memory[-1] >= memory[0]
+
+
+def test_fig7d_buffer_size_sweep(benchmark, scale):
+    points = run_once(
+        benchmark, run_fig7_buffer_sweep, scale, buffer_scales=(0.5, 1.0, 2.0)
+    )
+
+    print("\n=== Fig. 7d: DRAM/buffer power and buffer area vs buffer size ===")
+    for p in points:
+        print(
+            f"  buffer={p.buffer_kb:.0f}KB dram_power={p.dram_power:.4f}W "
+            f"buffer_power={p.buffer_power:.1f}mW buffer_area={p.buffer_area:.3f}mm2"
+        )
+
+    # Larger buffers cost area and power but never increase DRAM power.
+    assert points[-1].buffer_area > points[0].buffer_area
+    assert points[-1].buffer_power > points[0].buffer_power
+    assert points[-1].dram_power <= points[0].dram_power * 1.05

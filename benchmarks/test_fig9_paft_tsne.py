@@ -1,0 +1,27 @@
+"""Benchmark: Fig. 9 — PAFT's effect on activation clustering."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_paft_clustering(benchmark, scale):
+    result = run_once(benchmark, run_fig9, scale)
+
+    print("\n=== Fig. 9: train/test consistency and PAFT clustering effect ===")
+    print(f"  train/test pattern overlap:        {result.train_test_overlap:.3f}")
+    print(
+        "  mean distance to cluster centre:   "
+        f"{result.stats_without_paft.mean_distance_to_center:.3f} (w/o PAFT) -> "
+        f"{result.stats_with_paft.mean_distance_to_center:.3f} (w/ PAFT)"
+    )
+    print(
+        "  top-128-pattern coverage:          "
+        f"{result.stats_without_paft.top_pattern_coverage:.3f} -> "
+        f"{result.stats_with_paft.top_pattern_coverage:.3f}"
+    )
+
+    # Training activations represent the test distribution (Fig. 9a) and
+    # PAFT tightens the clusters (Fig. 9c).
+    assert result.train_test_overlap > 0.3
+    assert result.clustering_improved

@@ -1,0 +1,18 @@
+"""Benchmark: Table 3 — Phi area and power breakdown."""
+
+from conftest import run_once
+
+from repro.experiments import run_table3
+
+
+def test_table3_breakdown(benchmark):
+    result = run_once(benchmark, run_table3)
+
+    print("\n=== Table 3: Phi area and power breakdown ===")
+    print(result.formatted())
+
+    assert abs(result.total_area_mm2 - 0.663) < 0.01
+    assert abs(result.total_power_mw - 346.5) < 1.0
+    buffer_row = result.row("buffer")
+    assert buffer_row.area_mm2 == max(r.area_mm2 for r in result.rows)
+    assert buffer_row.power_mw == max(r.power_mw for r in result.rows)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Pattern-Aware Fine-Tuning (PAFT) on a small spiking classifier.
+
+The example trains a small spiking VGG on a synthetic image task, then
+fine-tunes it with the PAFT regulariser (Section 3.3 of the paper) and
+shows the effect on Level 2 density and accuracy: the regulariser pulls
+spike activations towards the calibrated patterns, which reduces the
+runtime corrections the accelerator has to process at a small accuracy
+cost.
+
+Run with:  python examples/paft_finetuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PAFTConfig, PhiCalibrator, PhiConfig, sparsity_breakdown
+from repro.datasets import make_dataset
+from repro.snn import SGDTrainer, build_model
+from repro.workloads import extract_workload
+
+
+def element_density(network, data, calibration) -> float:
+    """Level 2 density of the network's spike GEMMs on ``data``."""
+    workload = extract_workload(network, data, dataset_name="probe")
+    densities = []
+    weights = []
+    for layer in workload:
+        if layer.name not in calibration:
+            continue
+        decomposition = calibration[layer.name].decompose(layer.activations)
+        densities.append(sparsity_breakdown(decomposition).level2_density)
+        weights.append(layer.activations.size)
+    return float(np.average(densities, weights=weights)) if densities else 0.0
+
+
+def main() -> None:
+    dataset = make_dataset("cifar10", num_train=96, num_test=48)
+    channels, image_size, _ = dataset.input_shape
+    network = build_model(
+        "vgg16",
+        num_classes=dataset.num_classes,
+        in_channels=channels,
+        image_size=image_size,
+        channels=(8, 16),
+        num_steps=3,
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Ordinary training.
+    # ------------------------------------------------------------------
+    trainer = SGDTrainer(network, learning_rate=0.05, momentum=0.9)
+    history = trainer.fit(
+        dataset.train_data, dataset.train_labels, epochs=3, batch_size=16,
+        eval_data=dataset.test_data, eval_labels=dataset.test_labels,
+    )
+    print(f"Baseline training: loss {history.losses[0]:.3f} -> {history.losses[-1]:.3f}, "
+          f"accuracy {history.final_accuracy:.2%}")
+
+    # ------------------------------------------------------------------
+    # 2. Calibrate patterns on a small training subset (Section 3.2).
+    # ------------------------------------------------------------------
+    config = PhiConfig(partition_size=16, num_patterns=32, calibration_samples=4000)
+    _, records = network.record_activations(dataset.train_data[:16])
+    layer_activations = {
+        name: record.stacked().astype(np.uint8)
+        for name, record in records.items()
+        if record.matrices and record.is_binary
+    }
+    calibration = PhiCalibrator(config).calibrate_model(layer_activations)
+    before = element_density(network, dataset.test_data[:8], calibration)
+    accuracy_before = trainer.evaluate(dataset.test_data, dataset.test_labels)
+
+    # ------------------------------------------------------------------
+    # 3. PAFT fine-tuning with the Hamming-distance regulariser.
+    # ------------------------------------------------------------------
+    trainer.enable_paft(calibration, PAFTConfig(lam=1e-4, learning_rate=5e-3, epochs=2))
+    paft_history = trainer.fit(
+        dataset.train_data, dataset.train_labels, epochs=2, batch_size=16,
+    )
+    after = element_density(network, dataset.test_data[:8], calibration)
+    accuracy_after = trainer.evaluate(dataset.test_data, dataset.test_labels)
+
+    print("\nPAFT fine-tuning results:")
+    print(f"  Level 2 element density : {before:.3%} -> {after:.3%}")
+    print(f"  test accuracy           : {accuracy_before:.2%} -> {accuracy_after:.2%}")
+    print(f"  regulariser trajectory  : "
+          f"{paft_history.regularizers[0]:.1f} -> {paft_history.regularizers[-1]:.1f}")
+    print("\nLower element density means fewer Level 2 corrections for the "
+          "accelerator, i.e. faster inference (Fig. 10 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

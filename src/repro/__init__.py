@@ -1,0 +1,53 @@
+"""Phi: Pattern-based Hierarchical Sparsity for High-Efficiency SNNs.
+
+Reproduction of the ISCA 2025 paper.  The package is organised as:
+
+* :mod:`repro.core` — the Phi sparsity algorithm (patterns, binary k-means
+  calibration, Level 1 / Level 2 decomposition, PAFT).
+* :mod:`repro.snn` — a NumPy spiking-neural-network substrate (LIF
+  neurons, spiking conv / linear / attention layers, the model zoo and a
+  surrogate-gradient trainer).
+* :mod:`repro.datasets` — synthetic image / event / text datasets standing
+  in for CIFAR, CIFAR10-DVS, SST and MNLI.
+* :mod:`repro.workloads` — extraction of per-layer spike-activation and
+  weight matrices from models.
+* :mod:`repro.hw` — the Phi accelerator cycle-level simulator and its
+  energy/area model.
+* :mod:`repro.baselines` — analytical models of Spiking Eyeriss,
+  SpinalFlow, SATO, PTB and Stellar.
+* :mod:`repro.analysis` — t-SNE, clustering and memory-traffic analysis.
+* :mod:`repro.experiments` — one harness per paper table / figure.
+
+Subpackages are imported lazily on attribute access to keep ``import
+repro`` fast.
+"""
+
+from importlib import import_module
+
+__version__ = "1.0.0"
+
+_SUBPACKAGES = (
+    "core",
+    "snn",
+    "datasets",
+    "workloads",
+    "hw",
+    "baselines",
+    "analysis",
+    "experiments",
+)
+
+__all__ = list(_SUBPACKAGES) + ["__version__"]
+
+
+def __getattr__(name: str):
+    """Lazily import subpackages on first access."""
+    if name in _SUBPACKAGES:
+        module = import_module(f"{__name__}.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,123 @@
+"""Minimal t-SNE implementation for activation visualisation (Fig. 1 / 9).
+
+The paper uses t-SNE to show that SNN activation rows form tight clusters
+while DNN activations and random data do not.  SciPy does not ship t-SNE,
+so this module implements the standard algorithm (Gaussian affinities with
+per-point perplexity calibration, Student-t low-dimensional kernel,
+gradient descent with momentum and early exaggeration) on NumPy.  It is
+meant for the modest row counts of the experiments (a few hundred to a few
+thousand rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def pairwise_squared_distances(data: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance matrix of the rows of ``data``."""
+    data = np.asarray(data, dtype=np.float64)
+    norms = (data ** 2).sum(axis=1)
+    distances = norms[:, None] + norms[None, :] - 2.0 * data @ data.T
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _conditional_probabilities(
+    distances: np.ndarray, perplexity: float, tolerance: float = 1e-4, max_iter: int = 50
+) -> np.ndarray:
+    """Row-wise Gaussian affinities whose entropy matches the perplexity."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n))
+    for i in range(n):
+        beta_low, beta_high = 1e-20, 1e20
+        beta = 1.0
+        row = distances[i].copy()
+        row[i] = np.inf
+        for _ in range(max_iter):
+            exponent = np.exp(-row * beta)
+            total = exponent.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            p = exponent / total
+            nonzero = p > 0
+            entropy = -np.sum(p[nonzero] * np.log(p[nonzero]))
+            diff = entropy - target_entropy
+            if abs(diff) < tolerance:
+                break
+            if diff > 0:
+                beta_low = beta
+                beta = beta * 2.0 if beta_high >= 1e19 else (beta + beta_high) / 2.0
+            else:
+                beta_high = beta
+                beta = beta / 2.0 if beta_low <= 1e-19 else (beta + beta_low) / 2.0
+        probabilities[i] = exponent / max(total, 1e-12)
+        probabilities[i, i] = 0.0
+    return probabilities
+
+
+@dataclass(frozen=True)
+class TSNEResult:
+    """Output of a t-SNE run."""
+
+    embedding: np.ndarray
+    kl_divergence: float
+    iterations: int
+
+
+def tsne(
+    data: np.ndarray,
+    *,
+    num_components: int = 2,
+    perplexity: float = 20.0,
+    learning_rate: float = 100.0,
+    num_iterations: int = 250,
+    early_exaggeration: float = 4.0,
+    seed: int = 0,
+) -> TSNEResult:
+    """Project ``data`` rows into ``num_components`` dimensions with t-SNE."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D")
+    n = data.shape[0]
+    if n < 5:
+        raise ValueError("t-SNE needs at least 5 rows")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    distances = pairwise_squared_distances(data)
+    conditional = _conditional_probabilities(distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    embedding = rng.normal(0.0, 1e-4, size=(n, num_components))
+    velocity = np.zeros_like(embedding)
+    momentum = 0.5
+    exaggeration_end = num_iterations // 4
+
+    kl = float("inf")
+    for iteration in range(num_iterations):
+        p = joint * early_exaggeration if iteration < exaggeration_end else joint
+        low_dist = pairwise_squared_distances(embedding)
+        student = 1.0 / (1.0 + low_dist)
+        np.fill_diagonal(student, 0.0)
+        q = student / max(student.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+
+        pq_diff = (p - q) * student
+        gradient = 4.0 * (
+            np.diag(pq_diff.sum(axis=1)) @ embedding - pq_diff @ embedding
+        )
+        momentum = 0.5 if iteration < exaggeration_end else 0.8
+        velocity = momentum * velocity - learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+
+        if iteration == num_iterations - 1:
+            kl = float(np.sum(joint * np.log(joint / q)))
+
+    return TSNEResult(embedding=embedding, kl_divergence=kl, iterations=num_iterations)

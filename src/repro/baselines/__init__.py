@@ -1,0 +1,41 @@
+"""Analytical models of prior SNN accelerators (Table 2 baselines)."""
+
+from .base import (
+    AcceleratorReport,
+    BaselineAccelerator,
+    BaselineLayerResult,
+    load_imbalance_cycles,
+    paper_operations,
+)
+from .eyeriss import SpikingEyeriss
+from .ptb import PTB
+from .registry import (
+    BASELINE_CLASSES,
+    BASELINE_ORDER,
+    PhiAccelerator,
+    available_baselines,
+    get_baseline,
+    simulation_to_report,
+)
+from .sato import SATO
+from .spinalflow import SpinalFlow
+from .stellar import Stellar
+
+__all__ = [
+    "BaselineAccelerator",
+    "BaselineLayerResult",
+    "AcceleratorReport",
+    "paper_operations",
+    "load_imbalance_cycles",
+    "SpikingEyeriss",
+    "PTB",
+    "SATO",
+    "SpinalFlow",
+    "Stellar",
+    "PhiAccelerator",
+    "get_baseline",
+    "available_baselines",
+    "simulation_to_report",
+    "BASELINE_CLASSES",
+    "BASELINE_ORDER",
+]

@@ -1,0 +1,250 @@
+"""Common infrastructure for baseline SNN accelerator models.
+
+Every baseline is an analytical cycle/energy model at the same abstraction
+level as the Phi simulator: it consumes a :class:`ModelWorkload` (binary
+spike activation matrices plus weights) and reports cycles, DRAM traffic
+and energy.  Operation counts follow the paper's definition — one OP per
+'1' element in the bit-sparse activation times the output width — so
+throughput and energy efficiency are directly comparable across all
+accelerators (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hw.config import ArchConfig
+from ..hw.energy import (
+    ACCUMULATE_ENERGY_PJ,
+    BUFFER_ENERGY_PER_BYTE_PJ,
+    DRAM_ENERGY_PER_BYTE_PJ,
+)
+from ..workloads.workload import LayerWorkload, ModelWorkload
+
+#: On-chip SRAM bytes touched per executed accumulation: a weight element
+#: (2 B), a partial-sum read-modify-write (2 x 2 B) and amortised control /
+#: index metadata.  Set so the per-accumulation energy matches the
+#: ~10-20 pJ characteristic of 28 nm SNN accelerators.
+BUFFER_BYTES_PER_ACCUMULATION = 10.0
+
+
+@dataclass
+class BaselineLayerResult:
+    """Per-layer outcome of a baseline accelerator simulation."""
+
+    layer_name: str
+    compute_cycles: float
+    memory_cycles: float
+    dram_bytes: float
+    operations: int
+
+    @property
+    def total_cycles(self) -> float:
+        """Layer latency (compute overlapped with memory transfers)."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+
+@dataclass
+class AcceleratorReport:
+    """Aggregate performance / energy report of one accelerator run."""
+
+    accelerator: str
+    model_name: str
+    dataset_name: str
+    frequency_hz: float
+    area_mm2: float
+    layers: list[BaselineLayerResult] = field(default_factory=list)
+    core_energy: float = 0.0
+    buffer_energy: float = 0.0
+    dram_energy: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end cycles."""
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Runtime at the accelerator's clock frequency."""
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def total_operations(self) -> int:
+        """Paper-defined OP count (accumulations of '1' activations x N)."""
+        return sum(layer.operations for layer in self.layers)
+
+    @property
+    def throughput_gops(self) -> float:
+        """Throughput in GOP/s."""
+        if self.runtime_seconds == 0:
+            return 0.0
+        return self.total_operations / self.runtime_seconds / 1e9
+
+    @property
+    def energy_joules(self) -> float:
+        """Total energy."""
+        return self.core_energy + self.buffer_energy + self.dram_energy
+
+    @property
+    def energy_efficiency_gops_per_joule(self) -> float:
+        """Energy efficiency in GOP/J."""
+        if self.energy_joules == 0:
+            return 0.0
+        return self.total_operations / self.energy_joules / 1e9
+
+    @property
+    def area_efficiency_gops_per_mm2(self) -> float:
+        """Area efficiency in GOP/s/mm^2."""
+        if self.area_mm2 == 0:
+            return 0.0
+        return self.throughput_gops / self.area_mm2
+
+    @property
+    def total_dram_bytes(self) -> float:
+        """Total DRAM traffic."""
+        return sum(layer.dram_bytes for layer in self.layers)
+
+    def energy_breakdown(self) -> dict[str, float]:
+        """Core / buffer / DRAM energy split (Joules)."""
+        return {
+            "core": self.core_energy,
+            "buffer": self.buffer_energy,
+            "dram": self.dram_energy,
+        }
+
+
+def paper_operations(layer: LayerWorkload) -> int:
+    """The paper's OP count for one layer: 1-bits times output width."""
+    return int(layer.activations.sum()) * layer.n
+
+
+def dense_activation_bytes(layer: LayerWorkload) -> float:
+    """DRAM bytes for the dense (bit-packed) activation matrix."""
+    return layer.m * layer.k / 8.0
+
+
+def weight_bytes(layer: LayerWorkload, config: ArchConfig) -> float:
+    """DRAM bytes for the dense weight matrix."""
+    return float(layer.k * layer.n * config.weight_bytes)
+
+
+def output_bytes(layer: LayerWorkload) -> float:
+    """DRAM bytes for the binary output spikes."""
+    return layer.m * layer.n / 8.0
+
+
+class BaselineAccelerator(ABC):
+    """Abstract analytical model of an SNN accelerator.
+
+    Parameters
+    ----------
+    config:
+        Shared architectural constants (frequency, DRAM bandwidth, data
+        widths).  All baselines run at the same 500 MHz / 28 nm point as
+        Phi for a fair comparison (Section 5.1).
+    """
+
+    #: Human-readable accelerator name.
+    name: str = "baseline"
+    #: Die area in mm^2 (Table 2).
+    area_mm2: float = 1.0
+    #: Static (leakage + clock) core power in mW.
+    core_power_mw: float = 300.0
+    #: Static on-chip buffer power in mW.
+    buffer_power_mw: float = 200.0
+
+    def __init__(self, config: ArchConfig | None = None) -> None:
+        self.config = config or ArchConfig()
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def layer_compute_cycles(self, layer: LayerWorkload) -> float:
+        """Compute cycles this accelerator needs for one layer."""
+
+    def layer_executed_accumulations(self, layer: LayerWorkload) -> float:
+        """Scalar accumulations this accelerator actually executes.
+
+        The default assumes perfect zero skipping (one accumulation per '1'
+        activation element per output column); dense or window-granular
+        designs override it.  Dynamic core and buffer energy are charged
+        per executed accumulation, which is what makes exploiting sparsity
+        pay off in energy and not just latency.
+        """
+        return float(paper_operations(layer))
+
+    def layer_dram_bytes(self, layer: LayerWorkload) -> float:
+        """DRAM traffic of one layer (dense activations + weights + outputs)."""
+        return (
+            dense_activation_bytes(layer)
+            + weight_bytes(layer, self.config)
+            + output_bytes(layer)
+        )
+
+    # ------------------------------------------------------------------ #
+    def simulate_layer(self, layer: LayerWorkload) -> BaselineLayerResult:
+        """Simulate one layer and return its cycle/traffic accounting."""
+        compute = self.layer_compute_cycles(layer)
+        dram = self.layer_dram_bytes(layer)
+        memory = dram / self.config.dram_bytes_per_cycle
+        return BaselineLayerResult(
+            layer_name=layer.name,
+            compute_cycles=compute,
+            memory_cycles=memory,
+            dram_bytes=dram,
+            operations=paper_operations(layer),
+        )
+
+    def simulate(self, workload: ModelWorkload) -> AcceleratorReport:
+        """Simulate a complete model workload."""
+        report = AcceleratorReport(
+            accelerator=self.name,
+            model_name=workload.model_name,
+            dataset_name=workload.dataset_name,
+            frequency_hz=self.config.frequency_hz,
+            area_mm2=self.area_mm2,
+        )
+        executed = 0.0
+        for layer in workload:
+            report.layers.append(self.simulate_layer(layer))
+            executed += self.layer_executed_accumulations(layer)
+        runtime = report.runtime_seconds
+        # Dynamic energy scales with the accumulations actually executed
+        # (adder switching plus weight / partial-sum SRAM traffic); static
+        # energy scales with runtime.
+        dynamic_core = executed * ACCUMULATE_ENERGY_PJ * 1e-12
+        dynamic_buffer = (
+            executed
+            * BUFFER_BYTES_PER_ACCUMULATION
+            * BUFFER_ENERGY_PER_BYTE_PJ
+            * 1e-12
+        )
+        report.core_energy = self.core_power_mw * 1e-3 * runtime + dynamic_core
+        report.buffer_energy = self.buffer_power_mw * 1e-3 * runtime + dynamic_buffer
+        report.dram_energy = report.total_dram_bytes * DRAM_ENERGY_PER_BYTE_PJ * 1e-12
+        return report
+
+
+def load_imbalance_cycles(
+    activations: np.ndarray, lanes: int, rows_per_group: int, work_per_one: float
+) -> float:
+    """Cycle count of a row-parallel accelerator with load imbalance.
+
+    Rows are processed in groups of ``rows_per_group`` parallel lanes; the
+    group finishes when its most spike-heavy row finishes, which is the
+    load-imbalance effect unstructured sparsity causes on parallel SNN
+    dataflows.
+    """
+    if lanes < 1 or rows_per_group < 1:
+        raise ValueError("lanes and rows_per_group must be >= 1")
+    popcounts = np.asarray(activations).sum(axis=1)
+    cycles = 0.0
+    lanes_per_row = max(lanes // rows_per_group, 1)
+    for start in range(0, len(popcounts), rows_per_group):
+        group = popcounts[start : start + rows_per_group]
+        if group.size == 0:
+            continue
+        cycles += float(group.max()) * work_per_one / lanes_per_row
+    return cycles

@@ -1,0 +1,35 @@
+"""Spiking Eyeriss: the dense baseline (no sparsity exploitation).
+
+The paper compares against the spiking adaptation of Eyeriss used by
+SpinalFlow: a row-stationary dataflow that performs an accumulation for
+*every* activation/weight pair, zero or not.  It therefore sets the 1x
+reference point of Table 2 and Fig. 8.
+"""
+
+from __future__ import annotations
+
+from ..workloads.workload import LayerWorkload
+from .base import BaselineAccelerator
+
+
+class SpikingEyeriss(BaselineAccelerator):
+    """Dense spiking accelerator (Eyeriss adapted to SNNs)."""
+
+    name = "eyeriss"
+    area_mm2 = 1.068  # Table 2
+    core_power_mw = 260.0
+    buffer_power_mw = 190.0
+
+    #: Parallel scalar accumulators (14x12 PE array equivalent).
+    lanes = 256
+    #: Average PE-array utilisation of the row-stationary dataflow.
+    utilization = 0.85
+
+    def layer_compute_cycles(self, layer: LayerWorkload) -> float:
+        """Dense execution: every (M, K, N) accumulation is performed."""
+        total_accumulations = layer.m * layer.k * layer.n
+        return total_accumulations / (self.lanes * self.utilization)
+
+    def layer_executed_accumulations(self, layer: LayerWorkload) -> float:
+        """A dense accelerator executes the full M x K x N accumulation count."""
+        return float(layer.m * layer.k * layer.n)

@@ -1,0 +1,51 @@
+"""PTB: Parallel Time Batching (HPCA 2022).
+
+PTB processes spike inputs in parallel time windows on a systolic array.
+Because whole windows are scheduled as a unit, inactive positions inside
+an otherwise-active window are still processed, so only part of the bit
+sparsity is harvested (Section 2.2 / 5.3.1 of the Phi paper).  The model
+reproduces that mechanism at window granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workloads.workload import LayerWorkload
+from .base import BaselineAccelerator
+
+
+class PTB(BaselineAccelerator):
+    """Systolic-array accelerator with time-window batching."""
+
+    name = "ptb"
+    area_mm2 = 1.0  # not reported in Table 2; assumed comparable to SATO
+    core_power_mw = 240.0
+    buffer_power_mw = 180.0
+
+    #: Parallel scalar accumulators in the systolic array.
+    lanes = 256
+    #: Window size: positions grouped into one scheduling unit.
+    window = 4
+    #: Systolic-array utilisation.
+    utilization = 0.70
+
+    def _processed_positions(self, layer: LayerWorkload) -> int:
+        """Activation positions scheduled: whole windows with any spike."""
+        activations = layer.activations
+        k = activations.shape[1]
+        processed = 0
+        for start in range(0, k, self.window):
+            block = activations[:, start : start + self.window]
+            active_rows = np.any(block, axis=1)
+            processed += int(active_rows.sum()) * block.shape[1]
+        return processed
+
+    def layer_compute_cycles(self, layer: LayerWorkload) -> float:
+        """Window-granular execution: an active window is fully processed."""
+        total_accumulations = self._processed_positions(layer) * layer.n
+        return total_accumulations / (self.lanes * self.utilization)
+
+    def layer_executed_accumulations(self, layer: LayerWorkload) -> float:
+        """Every position inside an active window is accumulated."""
+        return float(self._processed_positions(layer) * layer.n)

@@ -1,0 +1,104 @@
+"""Registry of baseline accelerators and the Phi adapter.
+
+The experiments iterate over accelerators by name; :func:`get_baseline`
+returns analytical baseline models and :class:`PhiAccelerator` wraps the
+cycle-level Phi simulator behind the same :class:`AcceleratorReport`
+interface so Table 2 / Fig. 8 style comparisons are one loop.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from ..core.calibration import ModelCalibration
+from ..core.config import PhiConfig
+from ..hw.config import ArchConfig
+from ..hw.simulator import PhiSimulator, SimulationResult
+from ..workloads.workload import ModelWorkload
+from .base import AcceleratorReport, BaselineAccelerator, BaselineLayerResult
+from .eyeriss import SpikingEyeriss
+from .ptb import PTB
+from .sato import SATO
+from .spinalflow import SpinalFlow
+from .stellar import Stellar
+
+BASELINE_CLASSES: dict[str, Type[BaselineAccelerator]] = {
+    "eyeriss": SpikingEyeriss,
+    "ptb": PTB,
+    "sato": SATO,
+    "spinalflow": SpinalFlow,
+    "stellar": Stellar,
+}
+
+#: Order used when reporting Table 2 / Fig. 8 comparisons.
+BASELINE_ORDER = ("eyeriss", "ptb", "sato", "spinalflow", "stellar")
+
+
+def available_baselines() -> list[str]:
+    """Names of all baseline accelerators."""
+    return list(BASELINE_ORDER)
+
+
+def get_baseline(name: str, config: ArchConfig | None = None) -> BaselineAccelerator:
+    """Instantiate a baseline accelerator by name."""
+    try:
+        cls = BASELINE_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown baseline {name!r}; available: {sorted(BASELINE_CLASSES)}"
+        ) from None
+    return cls(config)
+
+
+class PhiAccelerator:
+    """Adapter exposing the Phi simulator through the baseline interface."""
+
+    name = "phi"
+    #: Table 3 total area.
+    area_mm2 = 0.662
+
+    def __init__(
+        self,
+        arch_config: ArchConfig | None = None,
+        phi_config: PhiConfig | None = None,
+    ) -> None:
+        self.config = arch_config or ArchConfig()
+        self.simulator = PhiSimulator(self.config, phi_config)
+
+    def simulate(
+        self,
+        workload: ModelWorkload,
+        *,
+        calibration: ModelCalibration | None = None,
+    ) -> AcceleratorReport:
+        """Run the Phi simulator and convert its result to a report."""
+        result = self.simulator.run(workload, calibration=calibration)
+        return simulation_to_report(result, area_mm2=self.area_mm2)
+
+
+def simulation_to_report(
+    result: SimulationResult, *, area_mm2: float = 0.662, name: str = "phi"
+) -> AcceleratorReport:
+    """Convert a :class:`SimulationResult` into an :class:`AcceleratorReport`."""
+    report = AcceleratorReport(
+        accelerator=name,
+        model_name=result.model_name,
+        dataset_name=result.dataset_name,
+        frequency_hz=result.config.frequency_hz,
+        area_mm2=area_mm2,
+    )
+    for layer in result.layers:
+        report.layers.append(
+            BaselineLayerResult(
+                layer_name=layer.layer_name,
+                compute_cycles=layer.compute_cycles,
+                memory_cycles=layer.memory_cycles,
+                dram_bytes=layer.dram_bytes,
+                operations=layer.operation_counts.bit_sparse_ops * layer.n,
+            )
+        )
+    energy = result.energy
+    report.core_energy = energy.core
+    report.buffer_energy = energy.buffer
+    report.dram_energy = energy.dram
+    return report

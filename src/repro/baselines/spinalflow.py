@@ -1,0 +1,32 @@
+"""SpinalFlow: temporally-sorted sparse SNN accelerator (ISCA 2020).
+
+SpinalFlow sorts input spikes chronologically and processes them
+sequentially, skipping zeros entirely.  It performs well on bit sparsity
+but its dataflow assumes each neuron fires at most once over all time
+steps, an assumption that costs accuracy and generality (Section 5.3.1).
+Performance-wise the model executes one accumulation per '1' activation
+with a sequential-processing efficiency factor.
+"""
+
+from __future__ import annotations
+
+from ..workloads.workload import LayerWorkload
+from .base import BaselineAccelerator, paper_operations
+
+
+class SpinalFlow(BaselineAccelerator):
+    """Sequential bit-sparse accelerator."""
+
+    name = "spinalflow"
+    area_mm2 = 2.09  # Table 2
+    core_power_mw = 330.0
+    buffer_power_mw = 260.0
+
+    #: Parallel scalar accumulators (128 PEs x SIMD lanes equivalent).
+    lanes = 256
+    #: Sorting/sequencing efficiency of the chronological dataflow.
+    utilization = 0.67
+
+    def layer_compute_cycles(self, layer: LayerWorkload) -> float:
+        """One accumulation per '1' activation, processed sequentially."""
+        return paper_operations(layer) / (self.lanes * self.utilization)

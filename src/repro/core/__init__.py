@@ -1,0 +1,62 @@
+"""Core Phi sparsity algorithm: patterns, clustering, calibration, PAFT."""
+
+from .calibration import LayerCalibration, ModelCalibration, PhiCalibrator
+from .config import PAPER_CONFIG, KMeansConfig, PhiConfig
+from .kmeans import (
+    ClusteringResult,
+    binary_kmeans,
+    cluster_partition,
+    filter_calibration_rows,
+    hamming_distance_matrix,
+)
+from .metrics import (
+    OperationCounts,
+    SparsityBreakdown,
+    aggregate_breakdowns,
+    aggregate_operation_counts,
+    geometric_mean,
+    operation_counts,
+    sparsity_breakdown,
+)
+from .paft import ActivationAligner, PAFTConfig, layer_regularizer, paft_regularizer
+from .patterns import NO_PATTERN, Pattern, PatternSet
+from .sparsity import (
+    MatrixDecomposition,
+    TileDecomposition,
+    decompose_matrix,
+    decompose_tile,
+    partition_boundaries,
+)
+
+__all__ = [
+    "PAPER_CONFIG",
+    "PhiConfig",
+    "KMeansConfig",
+    "Pattern",
+    "PatternSet",
+    "NO_PATTERN",
+    "ClusteringResult",
+    "binary_kmeans",
+    "cluster_partition",
+    "filter_calibration_rows",
+    "hamming_distance_matrix",
+    "TileDecomposition",
+    "MatrixDecomposition",
+    "decompose_tile",
+    "decompose_matrix",
+    "partition_boundaries",
+    "PhiCalibrator",
+    "LayerCalibration",
+    "ModelCalibration",
+    "SparsityBreakdown",
+    "OperationCounts",
+    "sparsity_breakdown",
+    "operation_counts",
+    "aggregate_breakdowns",
+    "aggregate_operation_counts",
+    "geometric_mean",
+    "PAFTConfig",
+    "ActivationAligner",
+    "paft_regularizer",
+    "layer_regularizer",
+]

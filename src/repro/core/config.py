@@ -1,0 +1,136 @@
+"""Configuration objects for the Phi sparsity algorithm.
+
+The paper's design-space exploration (Section 5.2) fixes the partition
+(tile) width along the reduction dimension to ``k = 16`` and the number of
+calibrated patterns per partition to ``q = 128``.  :class:`PhiConfig`
+captures these together with the calibration and fine-tuning knobs so that
+all downstream components (calibrator, decomposer, simulator, experiment
+harness) share a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class KMeansConfig:
+    """Settings for the Hamming-distance binary k-means of Algorithm 1.
+
+    Attributes
+    ----------
+    max_iterations:
+        Upper bound on Lloyd iterations.  The paper notes the clustering
+        converges quickly because rows are short binary vectors.
+    tolerance:
+        Stop early when the number of reassigned rows falls below this
+        fraction of the dataset.
+    seed:
+        Seed for centre initialisation; calibration is deterministic for a
+        fixed seed.
+    empty_cluster_strategy:
+        What to do when a cluster loses all members: ``"reseed"`` picks the
+        row farthest from its centre, ``"drop"`` keeps the stale centre.
+    """
+
+    max_iterations: int = 25
+    tolerance: float = 1e-3
+    seed: int = 0
+    empty_cluster_strategy: str = "reseed"
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ValueError("tolerance must be in [0, 1)")
+        if self.empty_cluster_strategy not in ("reseed", "drop"):
+            raise ValueError(
+                "empty_cluster_strategy must be 'reseed' or 'drop', got "
+                f"{self.empty_cluster_strategy!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PhiConfig:
+    """Top-level configuration of the Phi sparsity framework.
+
+    Attributes
+    ----------
+    partition_size:
+        Width ``k`` of each partition along the reduction (K) dimension.
+        The paper selects 16 (Fig. 7a/b).
+    num_patterns:
+        Number ``q`` of calibrated patterns per partition.  The paper
+        selects 128 (Fig. 7c).  Pattern index 0 is reserved for "no pattern
+        assigned", so at most ``num_patterns`` real patterns exist per
+        partition.
+    calibration_samples:
+        Number of calibration rows (per partition) sampled from the
+        calibration set.  A small subset of the training data suffices
+        (Section 3.2).
+    filter_all_zero:
+        Drop all-zero rows before clustering (they need no computation).
+    filter_one_hot:
+        Drop one-hot rows before clustering (a one-hot pattern's PWP equals
+        a weight row, so it brings no benefit).
+    kmeans:
+        Settings for the binary k-means clustering.
+    """
+
+    partition_size: int = 16
+    num_patterns: int = 128
+    calibration_samples: int = 8192
+    filter_all_zero: bool = True
+    filter_one_hot: bool = True
+    kmeans: KMeansConfig = field(default_factory=KMeansConfig)
+
+    def __post_init__(self) -> None:
+        if self.partition_size < 1:
+            raise ValueError("partition_size must be >= 1")
+        if self.num_patterns < 1:
+            raise ValueError("num_patterns must be >= 1")
+        if self.num_patterns > 2 ** self.partition_size:
+            raise ValueError(
+                "num_patterns cannot exceed the number of distinct binary "
+                f"rows 2**{self.partition_size}"
+            )
+        if self.calibration_samples < 1:
+            raise ValueError("calibration_samples must be >= 1")
+
+    def with_overrides(self, **kwargs: Any) -> "PhiConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Serialise the configuration to plain Python types."""
+        return {
+            "partition_size": self.partition_size,
+            "num_patterns": self.num_patterns,
+            "calibration_samples": self.calibration_samples,
+            "filter_all_zero": self.filter_all_zero,
+            "filter_one_hot": self.filter_one_hot,
+            "kmeans": {
+                "max_iterations": self.kmeans.max_iterations,
+                "tolerance": self.kmeans.tolerance,
+                "seed": self.kmeans.seed,
+                "empty_cluster_strategy": self.kmeans.empty_cluster_strategy,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PhiConfig":
+        """Reconstruct a configuration from :meth:`to_dict` output."""
+        kmeans_data = dict(data.get("kmeans", {}))
+        return cls(
+            partition_size=int(data.get("partition_size", 16)),
+            num_patterns=int(data.get("num_patterns", 128)),
+            calibration_samples=int(data.get("calibration_samples", 8192)),
+            filter_all_zero=bool(data.get("filter_all_zero", True)),
+            filter_one_hot=bool(data.get("filter_one_hot", True)),
+            kmeans=KMeansConfig(**kmeans_data),
+        )
+
+
+#: Configuration used throughout the paper's evaluation (k = 16, q = 128).
+PAPER_CONFIG = PhiConfig(partition_size=16, num_patterns=128)

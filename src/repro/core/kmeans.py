@@ -1,0 +1,231 @@
+"""Binary k-means clustering with Hamming distance (Algorithm 1).
+
+The Phi calibration stage clusters the binary activation rows of each
+partition and uses the (rounded) cluster centres as the partition's
+patterns.  Hamming distance between a row and its centre equals the number
+of correction elements the row would need in the Level 2 matrix, so
+minimising the within-cluster Hamming distance directly maximises Level 2
+sparsity (Section 3.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import KMeansConfig
+from .patterns import PatternSet
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of the binary k-means clustering.
+
+    Attributes
+    ----------
+    centers:
+        Binary matrix of shape ``(q, k)`` holding the rounded cluster
+        centres (the calibrated patterns).
+    assignments:
+        For each input row the index (0-based) of its cluster centre.
+    inertia:
+        Total Hamming distance between rows and their assigned centres.
+    iterations:
+        Number of Lloyd iterations performed.
+    """
+
+    centers: np.ndarray
+    assignments: np.ndarray
+    inertia: int
+    iterations: int
+
+    @property
+    def pattern_set(self) -> PatternSet:
+        """The cluster centres wrapped as a :class:`PatternSet`."""
+        return PatternSet(self.centers)
+
+
+def hamming_distance_matrix(rows: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between binary ``rows`` and ``centers``.
+
+    Parameters
+    ----------
+    rows:
+        Binary matrix of shape ``(n, k)``.
+    centers:
+        Binary matrix of shape ``(q, k)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer matrix of shape ``(n, q)``.
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    centers = np.asarray(centers, dtype=np.uint8)
+    if rows.ndim != 2 or centers.ndim != 2:
+        raise ValueError("rows and centers must both be 2-D")
+    if rows.shape[1] != centers.shape[1]:
+        raise ValueError(
+            f"width mismatch: rows have {rows.shape[1]} bits, centers have "
+            f"{centers.shape[1]}"
+        )
+    # For binary data, Hamming distance decomposes into a dot-product form:
+    # H(x, c) = sum(x) + sum(c) - 2 * x.c  which avoids materialising the
+    # (n, q, k) broadcast tensor for large calibration sets.
+    rows_f = rows.astype(np.int64)
+    centers_f = centers.astype(np.int64)
+    cross = rows_f @ centers_f.T
+    row_pop = rows_f.sum(axis=1, keepdims=True)
+    center_pop = centers_f.sum(axis=1, keepdims=True).T
+    return row_pop + center_pop - 2 * cross
+
+
+def filter_calibration_rows(
+    rows: np.ndarray,
+    *,
+    filter_all_zero: bool = True,
+    filter_one_hot: bool = True,
+) -> np.ndarray:
+    """Remove rows that are pointless to cluster (Algorithm 1, step 2).
+
+    All-zero rows require no computation at all, and one-hot rows cannot
+    profit from a pattern because the PWP of a one-hot pattern is just a row
+    of the weight matrix.
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    if rows.ndim != 2:
+        raise ValueError("rows must be 2-D")
+    popcounts = rows.sum(axis=1)
+    keep = np.ones(rows.shape[0], dtype=bool)
+    if filter_all_zero:
+        keep &= popcounts != 0
+    if filter_one_hot:
+        keep &= popcounts != 1
+    return rows[keep]
+
+
+def _init_centers(rows: np.ndarray, q: int, rng: np.random.Generator) -> np.ndarray:
+    """Initialise ``q`` centres from distinct rows where possible."""
+    unique_rows = np.unique(rows, axis=0)
+    if unique_rows.shape[0] >= q:
+        idx = rng.choice(unique_rows.shape[0], size=q, replace=False)
+        return unique_rows[idx].copy()
+    # Fewer unique rows than requested centres: take every unique row and
+    # pad with random binary vectors so the shape contract holds.
+    extra = q - unique_rows.shape[0]
+    random_bits = (rng.random((extra, rows.shape[1])) < 0.5).astype(np.uint8)
+    return np.vstack([unique_rows, random_bits])
+
+
+def binary_kmeans(
+    rows: np.ndarray,
+    num_clusters: int,
+    config: KMeansConfig | None = None,
+) -> ClusteringResult:
+    """Cluster binary rows with Hamming-distance k-means (Algorithm 1).
+
+    Parameters
+    ----------
+    rows:
+        Binary matrix of shape ``(n, k)`` with the calibration rows
+        (already filtered of all-zero / one-hot rows by the caller).
+    num_clusters:
+        Number of clusters ``q`` to produce.
+    config:
+        Clustering hyper-parameters; defaults to :class:`KMeansConfig`.
+
+    Returns
+    -------
+    ClusteringResult
+        Centres rounded to {0, 1}, per-row assignments, final inertia and
+        iteration count.
+    """
+    config = config or KMeansConfig()
+    rows = np.asarray(rows, dtype=np.uint8)
+    if rows.ndim != 2:
+        raise ValueError("rows must be a 2-D binary matrix")
+    if rows.shape[0] == 0:
+        raise ValueError("cannot cluster an empty set of rows")
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be >= 1")
+
+    rng = np.random.default_rng(config.seed)
+    centers = _init_centers(rows, num_clusters, rng)
+    assignments = np.zeros(rows.shape[0], dtype=np.int64)
+    n_rows = rows.shape[0]
+    iterations = 0
+
+    for iteration in range(config.max_iterations):
+        iterations = iteration + 1
+        distances = hamming_distance_matrix(rows, centers)
+        new_assignments = distances.argmin(axis=1)
+
+        changed = int(np.count_nonzero(new_assignments != assignments))
+        assignments = new_assignments
+
+        # Update each centre as the rounded mean of its members.
+        new_centers = centers.copy()
+        for cluster in range(num_clusters):
+            members = rows[assignments == cluster]
+            if members.shape[0] == 0:
+                if config.empty_cluster_strategy == "reseed":
+                    # Reseed with the row farthest from its current centre.
+                    row_dist = distances[np.arange(n_rows), assignments]
+                    farthest = int(row_dist.argmax())
+                    new_centers[cluster] = rows[farthest]
+                continue
+            mean = members.mean(axis=0)
+            new_centers[cluster] = (mean >= 0.5).astype(np.uint8)
+
+        converged = np.array_equal(new_centers, centers) and changed == 0
+        centers = new_centers
+        if converged or (iteration > 0 and changed <= config.tolerance * n_rows):
+            break
+
+    distances = hamming_distance_matrix(rows, centers)
+    assignments = distances.argmin(axis=1)
+    inertia = int(distances[np.arange(n_rows), assignments].sum())
+    return ClusteringResult(
+        centers=centers.astype(np.uint8),
+        assignments=assignments,
+        inertia=inertia,
+        iterations=iterations,
+    )
+
+
+def cluster_partition(
+    rows: np.ndarray,
+    num_patterns: int,
+    *,
+    config: KMeansConfig | None = None,
+    filter_all_zero: bool = True,
+    filter_one_hot: bool = True,
+) -> PatternSet:
+    """Produce the pattern set of one partition from its calibration rows.
+
+    This is the complete Algorithm 1 pipeline: filter degenerate rows, run
+    binary k-means, and wrap the rounded centres as a :class:`PatternSet`.
+    When fewer than ``num_patterns`` useful rows remain after filtering the
+    pattern count is reduced accordingly (deduplicated unique rows are used
+    directly as patterns).
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    filtered = filter_calibration_rows(
+        rows, filter_all_zero=filter_all_zero, filter_one_hot=filter_one_hot
+    )
+    if filtered.shape[0] == 0:
+        # Degenerate partition: nothing worth a pattern.  Return a single
+        # all-ones pattern so downstream code still has a valid set; the
+        # decomposer will simply never pick it if it does not help.
+        width = rows.shape[1] if rows.ndim == 2 else 1
+        return PatternSet(np.ones((1, width), dtype=np.uint8))
+
+    unique_rows = np.unique(filtered, axis=0)
+    if unique_rows.shape[0] <= num_patterns:
+        return PatternSet(unique_rows)
+
+    result = binary_kmeans(filtered, num_patterns, config)
+    # Deduplicate rounded centres; duplicates waste pattern slots.
+    centers = np.unique(result.centers, axis=0)
+    return PatternSet(centers)

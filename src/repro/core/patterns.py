@@ -1,0 +1,207 @@
+"""Pattern sets and pattern-weight products (PWPs).
+
+A *pattern* is a binary row vector of length ``k`` (the partition width).
+A :class:`PatternSet` stores the patterns calibrated for one partition of
+one layer.  Pattern index ``0`` is reserved for "no pattern assigned"; real
+patterns use indices ``1 .. q``.
+
+Because patterns are fixed after calibration, their products with the
+weight tile — the Pattern-Weight Products (PWPs) — can be computed offline
+and merely looked up at inference time (Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+#: Pattern index value meaning "no pattern assigned to this row".
+NO_PATTERN = 0
+
+
+def _validate_binary(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Return ``matrix`` as a contiguous uint8 array, checking it is 0/1."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    unique = np.unique(arr)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ValueError(f"{name} must contain only 0/1 values")
+    return np.ascontiguousarray(arr, dtype=np.uint8)
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A single binary pattern with its assigned index.
+
+    Attributes
+    ----------
+    index:
+        1-based pattern index (0 is reserved for "no pattern").
+    bits:
+        The binary row vector of the pattern, dtype ``uint8``.
+    """
+
+    index: int
+    bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("pattern index must be >= 1 (0 is reserved)")
+        bits = np.asarray(self.bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError("pattern bits must be a 1-D vector")
+        object.__setattr__(self, "bits", bits)
+
+    @property
+    def width(self) -> int:
+        """Length of the pattern in bits."""
+        return int(self.bits.shape[0])
+
+    @property
+    def popcount(self) -> int:
+        """Number of 1-bits in the pattern."""
+        return int(self.bits.sum())
+
+    def hamming_distance(self, row: np.ndarray) -> int:
+        """Hamming distance between this pattern and a binary ``row``."""
+        row = np.asarray(row, dtype=np.uint8)
+        if row.shape != self.bits.shape:
+            raise ValueError(
+                f"row shape {row.shape} does not match pattern width {self.width}"
+            )
+        return int(np.count_nonzero(row != self.bits))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.index == other.index and np.array_equal(self.bits, other.bits)
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.bits.tobytes()))
+
+
+class PatternSet:
+    """The calibrated patterns of one partition.
+
+    Parameters
+    ----------
+    patterns:
+        Binary matrix of shape ``(q, k)``; row ``i`` holds the bits of the
+        pattern with index ``i + 1``.
+    """
+
+    def __init__(self, patterns: np.ndarray) -> None:
+        self._matrix = _validate_binary(patterns, "patterns")
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The ``(q, k)`` binary pattern matrix (read-only view)."""
+        view = self._matrix.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def num_patterns(self) -> int:
+        """Number of patterns ``q`` in the set."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Partition width ``k``."""
+        return int(self._matrix.shape[1])
+
+    def __len__(self) -> int:
+        return self.num_patterns
+
+    def __iter__(self) -> Iterator[Pattern]:
+        for i, bits in enumerate(self._matrix):
+            yield Pattern(index=i + 1, bits=bits)
+
+    def __getitem__(self, index: int) -> Pattern:
+        """Return the pattern with 1-based ``index``."""
+        if index < 1 or index > self.num_patterns:
+            raise IndexError(
+                f"pattern index {index} out of range 1..{self.num_patterns}"
+            )
+        return Pattern(index=index, bits=self._matrix[index - 1])
+
+    def bits_of(self, index: int) -> np.ndarray:
+        """Return the bit vector of the pattern with 1-based ``index``.
+
+        Index 0 returns the all-zero row ("no pattern assigned").
+        """
+        if index == NO_PATTERN:
+            return np.zeros(self.width, dtype=np.uint8)
+        return self[index].bits
+
+    def compute_pwps(self, weight_tile: np.ndarray) -> np.ndarray:
+        """Compute the Pattern-Weight Products for a weight tile.
+
+        Parameters
+        ----------
+        weight_tile:
+            Array of shape ``(k, n)`` holding the weight rows of this
+            partition.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(q + 1, n)``.  Row 0 is all zeros (for the
+            "no pattern" index); row ``i`` is ``patterns[i-1] @ weight_tile``.
+        """
+        weight_tile = np.asarray(weight_tile, dtype=np.float64)
+        if weight_tile.ndim != 2 or weight_tile.shape[0] != self.width:
+            raise ValueError(
+                f"weight_tile must have shape ({self.width}, n), got "
+                f"{weight_tile.shape}"
+            )
+        products = self._matrix.astype(np.float64) @ weight_tile
+        zero_row = np.zeros((1, weight_tile.shape[1]), dtype=np.float64)
+        return np.vstack([zero_row, products])
+
+    def match_counts(self, rows: np.ndarray) -> np.ndarray:
+        """Hamming distance of each row against each pattern.
+
+        Parameters
+        ----------
+        rows:
+            Binary matrix of shape ``(m, k)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer matrix of shape ``(m, q)`` where entry ``(i, j)`` is the
+            Hamming distance between row ``i`` and pattern ``j + 1``.
+        """
+        rows = _validate_binary(rows, "rows")
+        if rows.shape[1] != self.width:
+            raise ValueError(
+                f"rows width {rows.shape[1]} does not match pattern width "
+                f"{self.width}"
+            )
+        # XOR via broadcasting: (m, 1, k) vs (1, q, k).
+        mismatches = rows[:, None, :] != self._matrix[None, :, :]
+        return mismatches.sum(axis=2).astype(np.int64)
+
+    def memory_bits(self) -> int:
+        """Storage cost of the pattern set itself in bits."""
+        return self.num_patterns * self.width
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternSet):
+            return NotImplemented
+        return np.array_equal(self._matrix, other._matrix)
+
+    def __repr__(self) -> str:
+        return f"PatternSet(q={self.num_patterns}, k={self.width})"
+
+    @classmethod
+    def from_patterns(cls, patterns: Iterable[Sequence[int]]) -> "PatternSet":
+        """Build a set from an iterable of binary sequences."""
+        rows = [np.asarray(p, dtype=np.uint8) for p in patterns]
+        if not rows:
+            raise ValueError("at least one pattern is required")
+        return cls(np.stack(rows))

@@ -1,0 +1,344 @@
+"""Phi sparsity decomposition (Level 1 vector sparsity + Level 2 element sparsity).
+
+Given a binary activation matrix ``A`` of shape ``(M, K)`` and a calibrated
+pattern set per K-partition, Phi decomposes each partition (tile) as
+
+    A_tile = L1_tile + L2_tile
+
+where every row of ``L1_tile`` is either a calibrated pattern or all zeros
+(vector-wise sparsity), and ``L2_tile`` holds {+1, -1} corrections only at
+the positions where the chosen pattern mismatches the activation row
+(element-wise sparsity).  The decomposition is exact: summing the two
+levels always reproduces the original activation tile (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .patterns import NO_PATTERN, PatternSet
+
+
+@dataclass(frozen=True)
+class TileDecomposition:
+    """Phi decomposition of a single (M x k) activation partition.
+
+    Attributes
+    ----------
+    pattern_indices:
+        1-D integer array of length ``M``.  Entry ``i`` is the 1-based
+        index of the pattern assigned to row ``i``, or ``0`` when no
+        pattern is assigned (the row is carried entirely by Level 2).
+    level2:
+        ``(M, k)`` int8 matrix with values in {-1, 0, +1}: the bidirectional
+        correction terms.
+    patterns:
+        The :class:`PatternSet` used for the decomposition.
+    original:
+        The original ``(M, k)`` binary activation tile (kept for metrics
+        and verification).
+    """
+
+    pattern_indices: np.ndarray
+    level2: np.ndarray
+    patterns: PatternSet
+    original: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        """Number of activation rows M in the tile."""
+        return int(self.original.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Partition width k."""
+        return int(self.original.shape[1])
+
+    def level1_matrix(self) -> np.ndarray:
+        """Materialise the Level 1 matrix (each row a pattern or zeros)."""
+        out = np.zeros_like(self.original, dtype=np.int8)
+        for i, idx in enumerate(self.pattern_indices):
+            if idx != NO_PATTERN:
+                out[i] = self.patterns.bits_of(int(idx))
+        return out
+
+    def reconstruct(self) -> np.ndarray:
+        """Reconstruct the original activation tile from L1 + L2."""
+        return (self.level1_matrix().astype(np.int16) + self.level2.astype(np.int16)).astype(
+            np.int8
+        )
+
+    # ------------------------------------------------------------------ #
+    # Density metrics (used throughout the evaluation section)
+    # ------------------------------------------------------------------ #
+    @property
+    def bit_density(self) -> float:
+        """Fraction of 1 bits in the original activation tile."""
+        return float(self.original.mean()) if self.original.size else 0.0
+
+    @property
+    def level1_density(self) -> float:
+        """Fraction of rows assigned a pattern (vector density)."""
+        if self.num_rows == 0:
+            return 0.0
+        return float(np.count_nonzero(self.pattern_indices != NO_PATTERN) / self.num_rows)
+
+    @property
+    def level2_density(self) -> float:
+        """Fraction of nonzero elements in the Level 2 matrix."""
+        if self.level2.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.level2) / self.level2.size)
+
+    @property
+    def level2_positive_density(self) -> float:
+        """Fraction of +1 correction elements."""
+        if self.level2.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.level2 == 1) / self.level2.size)
+
+    @property
+    def level2_negative_density(self) -> float:
+        """Fraction of -1 correction elements."""
+        if self.level2.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.level2 == -1) / self.level2.size)
+
+    def level2_nonzeros_per_row(self) -> np.ndarray:
+        """Number of {+1,-1} corrections in each row."""
+        return np.count_nonzero(self.level2, axis=1)
+
+    def compute_output(self, weight_tile: np.ndarray, pwps: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``A_tile @ weight_tile`` via the Phi decomposition.
+
+        Parameters
+        ----------
+        weight_tile:
+            ``(k, n)`` weight partition.
+        pwps:
+            Optional precomputed pattern-weight products of shape
+            ``(q + 1, n)``; computed on the fly when omitted.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(M, n)`` partial output of this partition.
+        """
+        weight_tile = np.asarray(weight_tile, dtype=np.float64)
+        if pwps is None:
+            pwps = self.patterns.compute_pwps(weight_tile)
+        level1_out = pwps[self.pattern_indices]
+        level2_out = self.level2.astype(np.float64) @ weight_tile
+        return level1_out + level2_out
+
+
+def decompose_tile(tile: np.ndarray, patterns: PatternSet) -> TileDecomposition:
+    """Decompose one binary activation tile against a pattern set.
+
+    For every row the best-matching pattern (minimum Hamming distance) is
+    selected.  If even the best pattern needs more corrections than the
+    row's own popcount (i.e. the achievable Level 2 sparsity would be lower
+    than the original bit sparsity), no pattern is assigned and the row is
+    carried verbatim in the Level 2 matrix.
+    """
+    tile = np.asarray(tile)
+    if tile.ndim != 2:
+        raise ValueError(f"tile must be 2-D, got shape {tile.shape}")
+    if not np.all(np.isin(np.unique(tile), (0, 1))):
+        raise ValueError("tile must be a binary 0/1 matrix")
+    tile = tile.astype(np.uint8)
+    if tile.shape[1] != patterns.width:
+        raise ValueError(
+            f"tile width {tile.shape[1]} does not match pattern width {patterns.width}"
+        )
+
+    num_rows = tile.shape[0]
+    pattern_indices = np.zeros(num_rows, dtype=np.int32)
+    level2 = np.zeros(tile.shape, dtype=np.int8)
+
+    if num_rows == 0:
+        return TileDecomposition(pattern_indices, level2, patterns, tile)
+
+    distances = patterns.match_counts(tile)  # (M, q) Hamming distances
+    best_pattern = distances.argmin(axis=1)  # 0-based
+    best_distance = distances[np.arange(num_rows), best_pattern]
+    popcounts = tile.sum(axis=1).astype(np.int64)
+
+    # Assign a pattern only when it strictly reduces the number of runtime
+    # corrections compared to the plain bit-sparse row.
+    use_pattern = best_distance < popcounts
+
+    pattern_indices[use_pattern] = best_pattern[use_pattern].astype(np.int32) + 1
+
+    pattern_matrix = patterns.matrix.astype(np.int16)
+    assigned = pattern_matrix[best_pattern[use_pattern]]
+    level2_assigned = tile[use_pattern].astype(np.int16) - assigned
+    level2[use_pattern] = level2_assigned.astype(np.int8)
+    # Rows without a pattern fall back to their original bit-sparse form.
+    level2[~use_pattern] = tile[~use_pattern].astype(np.int8)
+
+    return TileDecomposition(
+        pattern_indices=pattern_indices,
+        level2=level2,
+        patterns=patterns,
+        original=tile,
+    )
+
+
+def partition_boundaries(total_width: int, partition_size: int) -> list[tuple[int, int]]:
+    """Return the ``[start, stop)`` column ranges of each K partition.
+
+    The final partition may be narrower than ``partition_size`` when the
+    total width is not an exact multiple.
+    """
+    if total_width < 1:
+        raise ValueError("total_width must be >= 1")
+    if partition_size < 1:
+        raise ValueError("partition_size must be >= 1")
+    bounds = []
+    start = 0
+    while start < total_width:
+        stop = min(start + partition_size, total_width)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+@dataclass(frozen=True)
+class MatrixDecomposition:
+    """Phi decomposition of a full (M x K) binary activation matrix.
+
+    Attributes
+    ----------
+    tiles:
+        One :class:`TileDecomposition` per K partition, in column order.
+    boundaries:
+        The column ranges covered by each tile.
+    """
+
+    tiles: tuple[TileDecomposition, ...]
+    boundaries: tuple[tuple[int, int], ...]
+
+    @property
+    def num_rows(self) -> int:
+        """Number of activation rows M."""
+        return self.tiles[0].num_rows if self.tiles else 0
+
+    @property
+    def total_width(self) -> int:
+        """Total reduction width K."""
+        return self.boundaries[-1][1] if self.boundaries else 0
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of K partitions."""
+        return len(self.tiles)
+
+    def reconstruct(self) -> np.ndarray:
+        """Reconstruct the full binary activation matrix."""
+        out = np.zeros((self.num_rows, self.total_width), dtype=np.int8)
+        for tile, (start, stop) in zip(self.tiles, self.boundaries):
+            out[:, start:stop] = tile.reconstruct()
+        return out
+
+    def pattern_index_matrix(self) -> np.ndarray:
+        """The (M x num_partitions) matrix of assigned pattern indices."""
+        if not self.tiles:
+            return np.zeros((0, 0), dtype=np.int32)
+        return np.stack([tile.pattern_indices for tile in self.tiles], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate density metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def bit_density(self) -> float:
+        """Fraction of 1 bits in the original activation matrix."""
+        total = sum(t.original.size for t in self.tiles)
+        if total == 0:
+            return 0.0
+        ones = sum(int(t.original.sum()) for t in self.tiles)
+        return ones / total
+
+    @property
+    def level1_density(self) -> float:
+        """Fraction of (row, partition) entries that carry a pattern."""
+        total = sum(t.num_rows for t in self.tiles)
+        if total == 0:
+            return 0.0
+        assigned = sum(
+            int(np.count_nonzero(t.pattern_indices != NO_PATTERN)) for t in self.tiles
+        )
+        return assigned / total
+
+    @property
+    def level2_density(self) -> float:
+        """Fraction of nonzero correction elements across all tiles."""
+        total = sum(t.level2.size for t in self.tiles)
+        if total == 0:
+            return 0.0
+        nnz = sum(int(np.count_nonzero(t.level2)) for t in self.tiles)
+        return nnz / total
+
+    @property
+    def level2_positive_density(self) -> float:
+        """Fraction of +1 corrections across all tiles."""
+        total = sum(t.level2.size for t in self.tiles)
+        if total == 0:
+            return 0.0
+        nnz = sum(int(np.count_nonzero(t.level2 == 1)) for t in self.tiles)
+        return nnz / total
+
+    @property
+    def level2_negative_density(self) -> float:
+        """Fraction of -1 corrections across all tiles."""
+        total = sum(t.level2.size for t in self.tiles)
+        if total == 0:
+            return 0.0
+        nnz = sum(int(np.count_nonzero(t.level2 == -1)) for t in self.tiles)
+        return nnz / total
+
+    def compute_output(self, weights: np.ndarray) -> np.ndarray:
+        """Compute ``A @ weights`` using the Phi decomposition tile by tile."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape[0] != self.total_width:
+            raise ValueError(
+                f"weights must have {self.total_width} rows, got {weights.shape[0]}"
+            )
+        output = np.zeros((self.num_rows, weights.shape[1]), dtype=np.float64)
+        for tile, (start, stop) in zip(self.tiles, self.boundaries):
+            output += tile.compute_output(weights[start:stop])
+        return output
+
+
+def decompose_matrix(
+    activations: np.ndarray,
+    pattern_sets: Sequence[PatternSet],
+    partition_size: int,
+) -> MatrixDecomposition:
+    """Decompose a full binary activation matrix into Phi sparsity.
+
+    Parameters
+    ----------
+    activations:
+        Binary matrix of shape ``(M, K)``.
+    pattern_sets:
+        One :class:`PatternSet` per K partition (in column order).
+    partition_size:
+        Partition width ``k`` used during calibration.
+    """
+    activations = np.asarray(activations)
+    if activations.ndim != 2:
+        raise ValueError("activations must be 2-D")
+    boundaries = partition_boundaries(activations.shape[1], partition_size)
+    if len(pattern_sets) != len(boundaries):
+        raise ValueError(
+            f"expected {len(boundaries)} pattern sets for K={activations.shape[1]} "
+            f"and k={partition_size}, got {len(pattern_sets)}"
+        )
+    tiles = []
+    for pattern_set, (start, stop) in zip(pattern_sets, boundaries):
+        tiles.append(decompose_tile(activations[:, start:stop], pattern_set))
+    return MatrixDecomposition(tiles=tuple(tiles), boundaries=tuple(boundaries))

@@ -1,0 +1,19 @@
+"""Synthetic datasets standing in for the paper's public benchmarks."""
+
+from .synthetic import (
+    Dataset,
+    available_datasets,
+    make_dataset,
+    make_event_dataset,
+    make_image_dataset,
+    make_text_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "make_dataset",
+    "make_image_dataset",
+    "make_event_dataset",
+    "make_text_dataset",
+    "available_datasets",
+]

@@ -1,0 +1,57 @@
+"""Experiment harnesses: one module per table / figure of the paper."""
+
+from .common import PAPER, SMALL, TINY, ExperimentScale, format_table, get_workload
+from .discussion import DiscussionResult, run_discussion
+from .fig1 import Fig1Result, run_fig1
+from .fig7 import (
+    Fig7Result,
+    run_fig7,
+    run_fig7_buffer_sweep,
+    run_fig7_pattern_sweep,
+    run_fig7_tile_sweep,
+)
+from .fig8 import Fig8Result, apply_paft_to_workload, compare_workload, run_fig8
+from .fig9 import Fig9Result, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .fig11 import Fig11Result, evaluate_model_accuracy, run_fig11
+from .fig12 import Fig12Result, run_fig12
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, run_table3
+from .table4 import Table4Result, run_table4
+
+__all__ = [
+    "ExperimentScale",
+    "TINY",
+    "SMALL",
+    "PAPER",
+    "get_workload",
+    "format_table",
+    "run_table2",
+    "Table2Result",
+    "run_table3",
+    "Table3Result",
+    "run_table4",
+    "Table4Result",
+    "run_fig1",
+    "Fig1Result",
+    "run_fig7",
+    "run_fig7_tile_sweep",
+    "run_fig7_pattern_sweep",
+    "run_fig7_buffer_sweep",
+    "Fig7Result",
+    "run_fig8",
+    "Fig8Result",
+    "compare_workload",
+    "apply_paft_to_workload",
+    "run_fig9",
+    "Fig9Result",
+    "run_fig10",
+    "Fig10Result",
+    "run_fig11",
+    "Fig11Result",
+    "evaluate_model_accuracy",
+    "run_fig12",
+    "Fig12Result",
+    "run_discussion",
+    "DiscussionResult",
+]

@@ -1,0 +1,97 @@
+"""Figure 10: Level 2 element density with and without PAFT.
+
+PAFT aligns activations with their assigned patterns, which lowers the
+Level 2 (element) density and therefore the dominant runtime cost of the
+L2 processor.  The harness reports the density pairs for the conv and
+transformer models of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.metrics import aggregate_breakdowns, sparsity_breakdown
+from ..workloads.workload import ModelWorkload
+from .common import SMALL, ExperimentScale, calibrate_workload, format_table, get_workload
+from .fig8 import apply_paft_to_workload
+
+#: The model/dataset pairs shown in Fig. 10.
+FIG10_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("spikformer", "cifar10dvs"),
+    ("spikformer", "cifar100"),
+    ("sdt", "cifar100"),
+    ("vgg16", "cifar10"),
+    ("vgg16", "cifar100"),
+    ("resnet18", "cifar100"),
+)
+
+
+@dataclass(frozen=True)
+class DensityPair:
+    """Element density of one workload with and without PAFT."""
+
+    model: str
+    dataset: str
+    density_without_paft: float
+    density_with_paft: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative density reduction achieved by PAFT."""
+        if self.density_without_paft == 0:
+            return 0.0
+        return 1.0 - self.density_with_paft / self.density_without_paft
+
+
+@dataclass
+class Fig10Result:
+    """Element-density comparison across workloads."""
+
+    pairs: list[DensityPair] = field(default_factory=list)
+
+    def pair(self, model: str, dataset: str) -> DensityPair:
+        """Look up one workload's density pair."""
+        for pair in self.pairs:
+            if pair.model == model and pair.dataset == dataset:
+                return pair
+        raise KeyError(f"{model}/{dataset}")
+
+    def formatted(self) -> str:
+        """Aligned text rendering."""
+        return format_table([p.__dict__ for p in self.pairs])
+
+
+def element_density(workload: ModelWorkload, scale: ExperimentScale) -> float:
+    """Element-weighted Level 2 density of a workload."""
+    calibration = calibrate_workload(workload, scale)
+    pairs = []
+    for layer in workload:
+        decomposition = calibration[layer.name].decompose(layer.activations)
+        pairs.append((sparsity_breakdown(decomposition), layer.activations.size))
+    return aggregate_breakdowns(pairs).level2_density
+
+
+def run_fig10(
+    scale: ExperimentScale = SMALL,
+    *,
+    workloads: tuple[tuple[str, str], ...] = FIG10_WORKLOADS,
+    alignment_strength: float = 0.5,
+) -> Fig10Result:
+    """Reproduce the Fig. 10 element-density comparison."""
+    result = Fig10Result()
+    for model_name, dataset_name in workloads:
+        workload = get_workload(model_name, dataset_name, scale)
+        without = element_density(workload, scale)
+        paft_workload = apply_paft_to_workload(
+            workload, scale, alignment_strength=alignment_strength
+        )
+        with_paft = element_density(paft_workload, scale)
+        result.pairs.append(
+            DensityPair(
+                model=model_name,
+                dataset=dataset_name,
+                density_without_paft=without,
+                density_with_paft=with_paft,
+            )
+        )
+    return result

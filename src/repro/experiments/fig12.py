@@ -1,0 +1,91 @@
+"""Figure 12: memory-traffic reduction from compression and prefetching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.traffic import (
+    ActivationTraffic,
+    WeightTraffic,
+    activation_traffic,
+    weight_traffic,
+)
+from ..core.metrics import geometric_mean
+from ..hw.simulator import PhiSimulator
+from .common import SMALL, ExperimentScale, format_table, get_workload
+
+#: Model/dataset pairs of Fig. 12 (one per model family).
+FIG12_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("vgg16", "cifar100"),
+    ("resnet18", "cifar100"),
+    ("spikformer", "cifar100"),
+    ("sdt", "cifar100"),
+    ("spikebert", "sst2"),
+    ("spikingbert", "mnli"),
+)
+
+
+@dataclass(frozen=True)
+class TrafficRow:
+    """Activation and weight traffic of one workload."""
+
+    model: str
+    dataset: str
+    activation: ActivationTraffic
+    weight: WeightTraffic
+
+
+@dataclass
+class Fig12Result:
+    """Traffic comparison across workloads."""
+
+    rows: list[TrafficRow] = field(default_factory=list)
+
+    def geomean_activation_ratio(self) -> float:
+        """Geometric mean of compressed-activation traffic vs dense."""
+        return geometric_mean(r.activation.compressed_ratio for r in self.rows)
+
+    def geomean_weight_ratios(self) -> tuple[float, float]:
+        """Geometric means of (w/o prefetch, w/ prefetch) weight ratios."""
+        without = geometric_mean(r.weight.without_prefetch_ratio for r in self.rows)
+        with_prefetch = geometric_mean(r.weight.with_prefetch_ratio for r in self.rows)
+        return without, with_prefetch
+
+    def formatted(self) -> str:
+        """Aligned text rendering."""
+        rows = []
+        for r in self.rows:
+            rows.append(
+                {
+                    "workload": f"{r.model}/{r.dataset}",
+                    "act_dense": r.activation.dense,
+                    "act_uncompressed": r.activation.phi_uncompressed,
+                    "act_compressed": r.activation.phi_compressed,
+                    "w_dense": r.weight.dense,
+                    "w_no_prefetch": r.weight.phi_without_prefetch,
+                    "w_prefetch": r.weight.phi_with_prefetch,
+                }
+            )
+        return format_table(rows)
+
+
+def run_fig12(
+    scale: ExperimentScale = SMALL,
+    *,
+    workloads: tuple[tuple[str, str], ...] = FIG12_WORKLOADS,
+) -> Fig12Result:
+    """Reproduce the Fig. 12 memory-traffic comparison."""
+    result = Fig12Result()
+    simulator = PhiSimulator(scale.arch_config(), scale.phi_config())
+    for model_name, dataset_name in workloads:
+        workload = get_workload(model_name, dataset_name, scale)
+        sim_result = simulator.run(workload)
+        result.rows.append(
+            TrafficRow(
+                model=model_name,
+                dataset=dataset_name,
+                activation=activation_traffic(sim_result),
+                weight=weight_traffic(sim_result),
+            )
+        )
+    return result

@@ -1,0 +1,219 @@
+"""Figure 7: design-space exploration.
+
+Four sweeps justify the architecture configuration:
+
+* **Fig. 7a** — element (L2), vector (L1) and total density versus the K
+  partition size.
+* **Fig. 7b** — normalised compute cycles (bit sparsity vs Phi vs the
+  optimal lower bound) versus the K partition size.
+* **Fig. 7c** — compute cycles and PWP memory access versus the number of
+  patterns per partition.
+* **Fig. 7d** — DRAM power, buffer power and buffer area versus the total
+  on-chip buffer size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.calibration import PhiCalibrator
+from ..core.config import PhiConfig
+from ..core.metrics import aggregate_operation_counts, operation_counts, sparsity_breakdown
+from ..hw.config import ArchConfig, BufferSizes
+from ..hw.energy import DRAM_ENERGY_PER_BYTE_PJ, PhiEnergyModel
+from ..hw.simulator import PhiSimulator
+from ..workloads.workload import ModelWorkload
+from .common import SMALL, ExperimentScale, format_table, get_workload
+
+
+@dataclass(frozen=True)
+class TileSizePoint:
+    """One K-tile-size point of Fig. 7a/b."""
+
+    k_tile: int
+    element_density: float
+    vector_density: float
+    total_density: float
+    bit_cycles: float
+    phi_cycles: float
+    optimal_cycles: float
+
+
+@dataclass(frozen=True)
+class PatternCountPoint:
+    """One pattern-count point of Fig. 7c."""
+
+    num_patterns: int
+    phi_cycles: float
+    bit_cycles: float
+    optimal_cycles: float
+    pwp_memory_bytes: float
+
+
+@dataclass(frozen=True)
+class BufferSizePoint:
+    """One buffer-size point of Fig. 7d."""
+
+    buffer_kb: float
+    dram_power: float
+    buffer_power: float
+    buffer_area: float
+
+
+@dataclass
+class Fig7Result:
+    """All four sweeps of the design-space exploration."""
+
+    tile_sweep: list[TileSizePoint] = field(default_factory=list)
+    pattern_sweep: list[PatternCountPoint] = field(default_factory=list)
+    buffer_sweep: list[BufferSizePoint] = field(default_factory=list)
+
+    def best_tile_size(self) -> int:
+        """The K tile size with the lowest total density (paper: 16)."""
+        return min(self.tile_sweep, key=lambda p: p.total_density).k_tile
+
+    def formatted(self) -> str:
+        """Aligned text rendering of all three sweeps."""
+        parts = []
+        parts.append("Fig. 7a/b: K tile size sweep")
+        parts.append(format_table([p.__dict__ for p in self.tile_sweep]))
+        parts.append("\nFig. 7c: pattern count sweep")
+        parts.append(format_table([p.__dict__ for p in self.pattern_sweep]))
+        parts.append("\nFig. 7d: buffer size sweep")
+        parts.append(format_table([p.__dict__ for p in self.buffer_sweep]))
+        return "\n".join(parts)
+
+
+def _phi_relative_cycles(workload: ModelWorkload, config: PhiConfig) -> tuple[float, float, float, float, float, float]:
+    """Densities and normalised theoretical cycle counts for one config."""
+    calibrator = PhiCalibrator(config)
+    breakdown_pairs = []
+    counts = []
+    for layer in workload:
+        calibration = calibrator.calibrate_layer(layer.name, layer.activations)
+        decomposition = calibration.decompose(layer.activations)
+        breakdown_pairs.append(
+            (sparsity_breakdown(decomposition), layer.activations.size)
+        )
+        counts.append(operation_counts(decomposition))
+    totals = aggregate_operation_counts(counts)
+    from ..core.metrics import aggregate_breakdowns
+
+    breakdown = aggregate_breakdowns(breakdown_pairs)
+    bit_ops = totals.bit_sparse_ops
+    phi_ops = totals.phi_ops
+    # "Optimal" cycles: only the Level 2 corrections of a hypothetical
+    # perfect pattern assignment, approximated by the best achievable
+    # element count (one correction per mismatching bit with an oracle
+    # pattern per row); the paper uses the converged large-q limit.
+    optimal_ops = totals.phi_level2_ops + totals.phi_level1_ops // 2
+    bit = 1.0
+    phi = phi_ops / bit_ops if bit_ops else 0.0
+    optimal = optimal_ops / bit_ops if bit_ops else 0.0
+    return (
+        breakdown.level2_density,
+        breakdown.level1_vector_density / max(config.partition_size, 1),
+        breakdown.level2_density
+        + breakdown.level1_vector_density / max(config.partition_size, 1),
+        bit,
+        phi,
+        optimal,
+    )
+
+
+def run_fig7_tile_sweep(
+    scale: ExperimentScale = SMALL,
+    *,
+    model_name: str = "vgg16",
+    dataset_name: str = "cifar100",
+    tile_sizes: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> list[TileSizePoint]:
+    """Fig. 7a/b: sweep the K partition size."""
+    workload = get_workload(model_name, dataset_name, scale)
+    points = []
+    for k in tile_sizes:
+        # Narrow partitions cannot host more than 2**k distinct patterns.
+        patterns = min(scale.num_patterns, 2 ** min(k, 16))
+        config = scale.phi_config(partition_size=k, num_patterns=patterns)
+        element, vector, total, bit, phi, optimal = _phi_relative_cycles(workload, config)
+        points.append(
+            TileSizePoint(
+                k_tile=k,
+                element_density=element,
+                vector_density=vector,
+                total_density=total,
+                bit_cycles=bit,
+                phi_cycles=phi,
+                optimal_cycles=optimal,
+            )
+        )
+    return points
+
+
+def run_fig7_pattern_sweep(
+    scale: ExperimentScale = SMALL,
+    *,
+    model_name: str = "vgg16",
+    dataset_name: str = "cifar100",
+    pattern_counts: tuple[int, ...] = (8, 16, 32, 64, 128, 256),
+) -> list[PatternCountPoint]:
+    """Fig. 7c: sweep the number of patterns per partition."""
+    workload = get_workload(model_name, dataset_name, scale)
+    points = []
+    for q in pattern_counts:
+        config = scale.phi_config(num_patterns=q)
+        simulator = PhiSimulator(scale.arch_config(num_patterns=q), config)
+        result = simulator.run(workload)
+        totals = result.aggregate_operations()
+        bit_ops = totals.bit_sparse_ops
+        points.append(
+            PatternCountPoint(
+                num_patterns=q,
+                phi_cycles=totals.phi_ops / bit_ops if bit_ops else 0.0,
+                bit_cycles=1.0,
+                optimal_cycles=(
+                    totals.phi_level2_ops / bit_ops if bit_ops else 0.0
+                ),
+                pwp_memory_bytes=sum(l.pwp_bytes_prefetched for l in result.layers),
+            )
+        )
+    return points
+
+
+def run_fig7_buffer_sweep(
+    scale: ExperimentScale = SMALL,
+    *,
+    model_name: str = "vgg16",
+    dataset_name: str = "cifar100",
+    buffer_scales: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 3.0),
+) -> list[BufferSizePoint]:
+    """Fig. 7d: sweep the total on-chip buffer capacity."""
+    workload = get_workload(model_name, dataset_name, scale)
+    base_sizes = BufferSizes()
+    points = []
+    for factor in buffer_scales:
+        sizes = base_sizes.scaled(factor)
+        arch = scale.arch_config(buffers=sizes)
+        energy_model = PhiEnergyModel(arch, buffer_scale=factor)
+        simulator = PhiSimulator(arch, scale.phi_config(), energy_model=energy_model)
+        result = simulator.run(workload)
+        dram_energy = result.total_dram_bytes * DRAM_ENERGY_PER_BYTE_PJ * 1e-12
+        dram_power = dram_energy / max(result.runtime_seconds, 1e-12)
+        points.append(
+            BufferSizePoint(
+                buffer_kb=sizes.total / 1024.0,
+                dram_power=dram_power,
+                buffer_power=energy_model.power_report()["buffer"],
+                buffer_area=energy_model.area_report().components["buffer"],
+            )
+        )
+    return points
+
+
+def run_fig7(scale: ExperimentScale = SMALL, **kwargs) -> Fig7Result:
+    """Run all three design-space sweeps."""
+    return Fig7Result(
+        tile_sweep=run_fig7_tile_sweep(scale, **kwargs),
+        pattern_sweep=run_fig7_pattern_sweep(scale, **kwargs),
+        buffer_sweep=run_fig7_buffer_sweep(scale, **kwargs),
+    )

@@ -1,0 +1,200 @@
+"""Figure 8: speedup and energy across the full model zoo.
+
+For every model/dataset pair of the evaluation, the harness runs all
+baseline accelerators, Phi without PAFT and Phi with PAFT, and reports
+speedup (normalised to Spiking Eyeriss) and energy (normalised to Phi
+without PAFT), plus the geometric means across workloads — the same
+normalisations the paper's Fig. 8 uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.registry import BASELINE_ORDER, PhiAccelerator, get_baseline
+from ..core.metrics import geometric_mean
+from ..core.paft import ActivationAligner
+from ..workloads.workload import LayerWorkload, ModelWorkload
+from .common import (
+    SMALL,
+    ExperimentScale,
+    calibrate_workload,
+    format_table,
+    get_workload,
+)
+
+#: Default Fig. 8 workload list (subset of the paper's 12 pairs chosen to
+#: cover every model family; pass ``workloads=`` to run more).
+DEFAULT_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("vgg16", "cifar10"),
+    ("vgg16", "cifar100"),
+    ("resnet18", "cifar100"),
+    ("spikformer", "cifar10dvs"),
+    ("sdt", "cifar100"),
+    ("spikebert", "sst2"),
+    ("spikingbert", "mnli"),
+)
+
+#: The paper's full 12-workload list.
+FULL_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("vgg16", "cifar10"),
+    ("vgg16", "cifar100"),
+    ("resnet18", "cifar10"),
+    ("resnet18", "cifar100"),
+    ("spikformer", "cifar10dvs"),
+    ("spikformer", "cifar100"),
+    ("sdt", "cifar10dvs"),
+    ("sdt", "cifar100"),
+    ("spikebert", "sst2"),
+    ("spikebert", "sst5"),
+    ("spikingbert", "sst2"),
+    ("spikingbert", "mnli"),
+)
+
+#: Accelerator ordering used in the Fig. 8 bars.
+ACCELERATORS: tuple[str, ...] = BASELINE_ORDER + ("phi", "phi_paft")
+
+
+@dataclass
+class WorkloadComparison:
+    """Speedup / energy of every accelerator on one workload."""
+
+    model: str
+    dataset: str
+    speedup: dict[str, float] = field(default_factory=dict)
+    energy: dict[str, float] = field(default_factory=dict)
+    throughput_gops: dict[str, float] = field(default_factory=dict)
+    energy_joules: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """Canonical workload identifier."""
+        return f"{self.model}/{self.dataset}"
+
+
+@dataclass
+class Fig8Result:
+    """All workload comparisons plus geometric means."""
+
+    comparisons: list[WorkloadComparison] = field(default_factory=list)
+
+    def geomean_speedup(self) -> dict[str, float]:
+        """Geometric-mean speedup per accelerator (normalised to Eyeriss)."""
+        result = {}
+        for accel in ACCELERATORS:
+            values = [c.speedup[accel] for c in self.comparisons if accel in c.speedup]
+            if values:
+                result[accel] = geometric_mean(values)
+        return result
+
+    def geomean_energy(self) -> dict[str, float]:
+        """Geometric-mean energy per accelerator (normalised to Phi w/o PAFT)."""
+        result = {}
+        for accel in ACCELERATORS:
+            values = [c.energy[accel] for c in self.comparisons if accel in c.energy]
+            if values:
+                result[accel] = geometric_mean(values)
+        return result
+
+    def formatted(self) -> str:
+        """Aligned text rendering of the speedup table."""
+        rows = []
+        for comparison in self.comparisons:
+            row = {"workload": comparison.key}
+            row.update({a: comparison.speedup.get(a) for a in ACCELERATORS})
+            rows.append(row)
+        geo = {"workload": "geomean"}
+        geo.update(self.geomean_speedup())
+        rows.append(geo)
+        return format_table(rows)
+
+
+def apply_paft_to_workload(
+    workload: ModelWorkload,
+    scale: ExperimentScale,
+    *,
+    alignment_strength: float = 0.5,
+    seed: int = 0,
+) -> ModelWorkload:
+    """Produce the post-PAFT version of a workload.
+
+    Pattern-aware fine-tuning pushes activations towards their assigned
+    patterns; the aligner applies that statistical effect directly to the
+    recorded spike matrices (see :class:`repro.core.paft.ActivationAligner`).
+    """
+    calibration = calibrate_workload(workload, scale)
+    aligner = ActivationAligner(alignment_strength=alignment_strength, seed=seed)
+    aligned = ModelWorkload(
+        model_name=workload.model_name, dataset_name=workload.dataset_name
+    )
+    for layer in workload:
+        if layer.name in calibration:
+            activations = aligner.align_layer(layer.activations, calibration[layer.name])
+        else:
+            activations = layer.activations
+        aligned.add(
+            LayerWorkload(
+                name=layer.name,
+                activations=activations,
+                weights=layer.weights,
+            )
+        )
+    return aligned
+
+
+def compare_workload(
+    model_name: str,
+    dataset_name: str,
+    scale: ExperimentScale = SMALL,
+    *,
+    paft_strength: float = 0.5,
+) -> WorkloadComparison:
+    """Run all accelerators on one workload and normalise the results."""
+    workload = get_workload(model_name, dataset_name, scale)
+    comparison = WorkloadComparison(model=model_name, dataset=dataset_name)
+
+    reports = {}
+    for name in BASELINE_ORDER:
+        reports[name] = get_baseline(name, scale.arch_config()).simulate(workload)
+
+    phi = PhiAccelerator(scale.arch_config(), scale.phi_config())
+    reports["phi"] = phi.simulate(workload)
+    paft_workload = apply_paft_to_workload(workload, scale, alignment_strength=paft_strength)
+    paft_report = phi.simulate(paft_workload)
+    # The PAFT run executes fewer real operations, but speedup/energy are
+    # normalised against the same nominal OP count as the original model.
+    reports["phi_paft"] = paft_report
+
+    eyeriss_throughput = reports["eyeriss"].throughput_gops
+    phi_energy = reports["phi"].energy_joules
+    nominal_ops = reports["phi"].total_operations
+    for name, report in reports.items():
+        if name == "phi_paft":
+            runtime = report.runtime_seconds
+            throughput = nominal_ops / runtime / 1e9 if runtime else 0.0
+        else:
+            throughput = report.throughput_gops
+        comparison.throughput_gops[name] = throughput
+        comparison.speedup[name] = throughput / eyeriss_throughput
+        comparison.energy_joules[name] = report.energy_joules
+        comparison.energy[name] = report.energy_joules / phi_energy
+    return comparison
+
+
+def run_fig8(
+    scale: ExperimentScale = SMALL,
+    *,
+    workloads: tuple[tuple[str, str], ...] = DEFAULT_WORKLOADS,
+    paft_strength: float = 0.5,
+) -> Fig8Result:
+    """Reproduce Fig. 8 across the selected workloads."""
+    result = Fig8Result()
+    for model_name, dataset_name in workloads:
+        result.comparisons.append(
+            compare_workload(
+                model_name, dataset_name, scale, paft_strength=paft_strength
+            )
+        )
+    return result

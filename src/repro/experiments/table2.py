@@ -1,0 +1,98 @@
+"""Table 2: Phi vs baselines on VGG-16 / CIFAR100.
+
+Reports throughput (GOP/s), energy efficiency (GOP/J) and area efficiency
+(GOP/s/mm^2) for Spiking Eyeriss, PTB, SATO, SpinalFlow, Stellar and Phi,
+all normalised to Spiking Eyeriss as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.registry import BASELINE_ORDER, PhiAccelerator, get_baseline
+from .common import SMALL, ExperimentScale, calibrate_workload, format_table, get_workload
+
+
+@dataclass(frozen=True)
+class AcceleratorRow:
+    """One row of the Table 2 comparison."""
+
+    accelerator: str
+    area_mm2: float
+    throughput_gops: float
+    energy_efficiency_gopj: float
+    area_efficiency_gops_mm2: float
+    speedup_vs_eyeriss: float
+    energy_ratio_vs_eyeriss: float
+
+
+@dataclass
+class Table2Result:
+    """All rows of the Table 2 reproduction."""
+
+    model_name: str
+    dataset_name: str
+    rows: list[AcceleratorRow] = field(default_factory=list)
+
+    def row(self, accelerator: str) -> AcceleratorRow:
+        """Look up one accelerator's row."""
+        for row in self.rows:
+            if row.accelerator == accelerator:
+                return row
+        raise KeyError(accelerator)
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as plain dictionaries (for printing / serialisation)."""
+        return [
+            {
+                "accelerator": r.accelerator,
+                "area_mm2": r.area_mm2,
+                "GOP/s": r.throughput_gops,
+                "GOP/J": r.energy_efficiency_gopj,
+                "GOP/s/mm2": r.area_efficiency_gops_mm2,
+                "speedup": r.speedup_vs_eyeriss,
+                "energy_ratio": r.energy_ratio_vs_eyeriss,
+            }
+            for r in self.rows
+        ]
+
+    def formatted(self) -> str:
+        """Aligned text rendering of the table."""
+        return format_table(self.as_dicts())
+
+
+def run_table2(
+    scale: ExperimentScale = SMALL,
+    *,
+    model_name: str = "vgg16",
+    dataset_name: str = "cifar100",
+    use_train_calibration: bool = False,
+) -> Table2Result:
+    """Reproduce Table 2 on the scaled VGG-16 / CIFAR100 workload."""
+    workload = get_workload(model_name, dataset_name, scale)
+    reports = {}
+    for name in BASELINE_ORDER:
+        reports[name] = get_baseline(name, scale.arch_config()).simulate(workload)
+
+    phi = PhiAccelerator(scale.arch_config(), scale.phi_config())
+    calibration = calibrate_workload(workload, scale) if use_train_calibration else None
+    reports["phi"] = phi.simulate(workload, calibration=calibration)
+
+    baseline = reports["eyeriss"]
+    result = Table2Result(model_name=model_name, dataset_name=dataset_name)
+    for name, report in reports.items():
+        result.rows.append(
+            AcceleratorRow(
+                accelerator=name,
+                area_mm2=report.area_mm2,
+                throughput_gops=report.throughput_gops,
+                energy_efficiency_gopj=report.energy_efficiency_gops_per_joule,
+                area_efficiency_gops_mm2=report.area_efficiency_gops_per_mm2,
+                speedup_vs_eyeriss=report.throughput_gops / baseline.throughput_gops,
+                energy_ratio_vs_eyeriss=(
+                    report.energy_efficiency_gops_per_joule
+                    / baseline.energy_efficiency_gops_per_joule
+                ),
+            )
+        )
+    return result

@@ -1,0 +1,139 @@
+"""Table 4: Phi sparsity breakdown across models, datasets and random data.
+
+For every model/dataset pair the table reports the bit density, the
+Level 1 density, the +1 / -1 Level 2 densities, the theoretical speedup
+over bit sparsity and over dense execution.  Rows for random binary
+matrices of several densities show that patterns also emerge (to a lesser
+degree) in unstructured data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.calibration import PhiCalibrator
+from ..core.metrics import (
+    aggregate_breakdowns,
+    aggregate_operation_counts,
+    operation_counts,
+    sparsity_breakdown,
+)
+from ..workloads.generator import generate_random_workload
+from ..workloads.workload import ModelWorkload
+from .common import SMALL, ExperimentScale, format_table, get_workload
+
+
+@dataclass(frozen=True)
+class SparsityRow:
+    """One row of Table 4."""
+
+    model: str
+    dataset: str
+    bit_density: float
+    l1_density: float
+    l2_positive_density: float
+    l2_negative_density: float
+    speedup_over_bit: float
+    speedup_over_dense: float
+
+    @property
+    def l2_density(self) -> float:
+        """Total Level 2 density."""
+        return self.l2_positive_density + self.l2_negative_density
+
+
+@dataclass
+class Table4Result:
+    """All rows of the Table 4 reproduction."""
+
+    rows: list[SparsityRow] = field(default_factory=list)
+
+    def row(self, model: str, dataset: str) -> SparsityRow:
+        """Look up the row of one model/dataset pair."""
+        for row in self.rows:
+            if row.model == model and row.dataset == dataset:
+                return row
+        raise KeyError(f"{model}/{dataset}")
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as dictionaries."""
+        return [
+            {
+                "model": r.model,
+                "dataset": r.dataset,
+                "bit_density": r.bit_density,
+                "L1_density": r.l1_density,
+                "L2_+1": r.l2_positive_density,
+                "L2_-1": r.l2_negative_density,
+                "speedup_over_bit": r.speedup_over_bit,
+                "speedup_over_dense": r.speedup_over_dense,
+            }
+            for r in self.rows
+        ]
+
+    def formatted(self) -> str:
+        """Aligned text rendering."""
+        return format_table(self.as_dicts())
+
+
+def analyze_workload(workload: ModelWorkload, scale: ExperimentScale) -> SparsityRow:
+    """Compute one Table 4 row for an arbitrary workload."""
+    calibrator = PhiCalibrator(scale.phi_config())
+    breakdowns = []
+    counts = []
+    for layer in workload:
+        calibration = calibrator.calibrate_layer(layer.name, layer.activations)
+        decomposition = calibration.decompose(layer.activations)
+        breakdowns.append((sparsity_breakdown(decomposition), layer.activations.size))
+        counts.append(operation_counts(decomposition))
+    breakdown = aggregate_breakdowns(breakdowns)
+    totals = aggregate_operation_counts(counts)
+    return SparsityRow(
+        model=workload.model_name,
+        dataset=workload.dataset_name,
+        bit_density=breakdown.bit_density,
+        l1_density=breakdown.level1_density,
+        l2_positive_density=breakdown.level2_positive_density,
+        l2_negative_density=breakdown.level2_negative_density,
+        speedup_over_bit=totals.speedup_over_bit,
+        speedup_over_dense=totals.speedup_over_dense,
+    )
+
+
+#: The model/dataset pairs of Table 4 (a subset of the full Fig. 8 list).
+TABLE4_WORKLOADS: tuple[tuple[str, str], ...] = (
+    ("vgg16", "cifar10"),
+    ("vgg16", "cifar100"),
+    ("resnet18", "cifar10"),
+    ("resnet18", "cifar100"),
+    ("spikingbert", "sst2"),
+    ("spikingbert", "mnli"),
+    ("spikformer", "cifar10dvs"),
+    ("spikformer", "cifar100"),
+    ("sdt", "cifar10dvs"),
+    ("sdt", "cifar100"),
+)
+
+#: Densities of the random-matrix rows of Table 4.
+RANDOM_DENSITIES: tuple[float, ...] = (0.05, 0.10, 0.20, 0.50)
+
+
+def run_table4(
+    scale: ExperimentScale = SMALL,
+    *,
+    workloads: tuple[tuple[str, str], ...] = TABLE4_WORKLOADS,
+    include_random: bool = True,
+) -> Table4Result:
+    """Reproduce Table 4 across the model zoo plus random matrices."""
+    result = Table4Result()
+    for model_name, dataset_name in workloads:
+        workload = get_workload(model_name, dataset_name, scale)
+        result.rows.append(analyze_workload(workload, scale))
+    if include_random:
+        for density in RANDOM_DENSITIES:
+            random_workload = generate_random_workload(
+                density=density, m=1024, k=128, n=64, seed=int(density * 100)
+            )
+            row = analyze_workload(random_workload, scale)
+            result.rows.append(row)
+    return result

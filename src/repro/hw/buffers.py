@@ -1,0 +1,115 @@
+"""On-chip buffer models with access accounting.
+
+The buffers are behavioural: they track capacity, total read/write bytes
+and overflow events (requests larger than the capacity imply re-fetches
+from DRAM).  The simulator uses these counters to derive buffer energy
+and the extra DRAM traffic that undersized buffers cause — the mechanism
+behind the Fig. 7d buffer-size sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import BufferSizes
+
+
+@dataclass
+class Buffer:
+    """A single on-chip SRAM buffer.
+
+    Attributes
+    ----------
+    name:
+        Buffer identifier ("weight", "pwp", ...).
+    capacity_bytes:
+        Storage capacity.
+    """
+
+    name: str
+    capacity_bytes: int
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+    overflow_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1")
+
+    def read(self, num_bytes: float) -> None:
+        """Record a read of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.read_bytes += num_bytes
+
+    def write(self, num_bytes: float) -> None:
+        """Record a write of ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.write_bytes += num_bytes
+
+    def fill(self, num_bytes: float) -> float:
+        """Model loading ``num_bytes`` of working-set data into the buffer.
+
+        Returns the number of bytes that do *not* fit; the caller charges
+        those to DRAM again on the next reuse (capacity-miss traffic).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.write(min(num_bytes, self.capacity_bytes))
+        overflow = max(0.0, num_bytes - self.capacity_bytes)
+        self.overflow_bytes += overflow
+        return overflow
+
+    @property
+    def total_access_bytes(self) -> float:
+        """Total bytes moved in and out of the buffer."""
+        return self.read_bytes + self.write_bytes
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.read_bytes = 0.0
+        self.write_bytes = 0.0
+        self.overflow_bytes = 0.0
+
+
+@dataclass
+class BufferSet:
+    """The full set of Phi on-chip buffers (Table 1)."""
+
+    sizes: BufferSizes = field(default_factory=BufferSizes)
+
+    def __post_init__(self) -> None:
+        self.pack = Buffer("pack", self.sizes.pack)
+        self.weight = Buffer("weight", self.sizes.weight)
+        self.pwp = Buffer("pwp", self.sizes.pwp)
+        self.pattern_index = Buffer("pattern_index", self.sizes.pattern_index)
+        self.partial_sum = Buffer("partial_sum", self.sizes.partial_sum)
+
+    def all_buffers(self) -> list[Buffer]:
+        """Every buffer in the set."""
+        return [self.pack, self.weight, self.pwp, self.pattern_index, self.partial_sum]
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Combined capacity of all buffers."""
+        return self.sizes.total
+
+    @property
+    def total_access_bytes(self) -> float:
+        """Combined read+write traffic of all buffers."""
+        return sum(buffer.total_access_bytes for buffer in self.all_buffers())
+
+    @property
+    def total_overflow_bytes(self) -> float:
+        """Bytes that spilled because a working set exceeded its buffer."""
+        return sum(buffer.overflow_bytes for buffer in self.all_buffers())
+
+    def reset(self) -> None:
+        """Clear counters of every buffer."""
+        for buffer in self.all_buffers():
+            buffer.reset()
+
+    def access_summary(self) -> dict[str, float]:
+        """Per-buffer total access bytes (for reports)."""
+        return {buffer.name: buffer.total_access_bytes for buffer in self.all_buffers()}

@@ -1,0 +1,80 @@
+"""Off-chip DRAM model (bandwidth and traffic accounting).
+
+A lightweight stand-in for DRAMsim3: traffic is accumulated in bytes,
+transfer latency is bandwidth-limited (``bytes / bytes_per_cycle``), and
+energy is charged per byte by the energy model.  Read and write streams
+are tracked separately so the memory-traffic experiments (Fig. 12) can
+report activation and weight traffic independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import ArchConfig
+
+
+@dataclass
+class TrafficCounter:
+    """Byte counters for one traffic category."""
+
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Read plus write bytes."""
+        return self.read_bytes + self.write_bytes
+
+
+@dataclass
+class DRAMModel:
+    """Bandwidth-limited DRAM with per-category traffic accounting."""
+
+    config: ArchConfig = field(default_factory=ArchConfig)
+
+    def __post_init__(self) -> None:
+        self.traffic: dict[str, TrafficCounter] = {}
+
+    def _counter(self, category: str) -> TrafficCounter:
+        if category not in self.traffic:
+            self.traffic[category] = TrafficCounter()
+        return self.traffic[category]
+
+    def read(self, num_bytes: float, category: str = "other") -> None:
+        """Record a DRAM read of ``num_bytes`` under ``category``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._counter(category).read_bytes += num_bytes
+
+    def write(self, num_bytes: float, category: str = "other") -> None:
+        """Record a DRAM write of ``num_bytes`` under ``category``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._counter(category).write_bytes += num_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes moved to or from DRAM."""
+        return sum(counter.total_bytes for counter in self.traffic.values())
+
+    def category_bytes(self, category: str) -> float:
+        """Bytes moved under one traffic category."""
+        counter = self.traffic.get(category)
+        return counter.total_bytes if counter else 0.0
+
+    def transfer_cycles(self, num_bytes: float | None = None) -> float:
+        """Accelerator cycles needed to move ``num_bytes`` (default: all)."""
+        if num_bytes is None:
+            num_bytes = self.total_bytes
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.config.dram_bytes_per_cycle
+
+    def summary(self) -> dict[str, float]:
+        """Per-category byte totals."""
+        return {name: counter.total_bytes for name, counter in self.traffic.items()}
+
+    def reset(self) -> None:
+        """Clear all traffic counters."""
+        self.traffic.clear()

@@ -1,0 +1,334 @@
+"""Phi Preprocessor: pattern matcher, compressor and packer (Section 4.2).
+
+The Preprocessor converts a spike-activation tile into the two-level Phi
+representation on the fly:
+
+* the **pattern matcher** (a 1-D systolic array of matcher units) finds,
+  for every activation row, the pre-loaded pattern with the minimum
+  Hamming distance and emits the corresponding Level 2 sparse row,
+* the **compressor** drops all-zero Level 2 rows and converts the rest to
+  (column index, value) pairs, and
+* the **packer** merges compressed rows into fixed-size *packs* of
+  ``pack_size`` units, using multiple windows and per-window conflict
+  detectors so partial-sum bank conflicts are avoided.
+
+All three stages are modelled behaviourally and cycle-accurately at the
+row granularity: the matcher and compressor sustain one row per cycle and
+the packer one compressed row per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.patterns import NO_PATTERN, PatternSet
+from ..core.sparsity import TileDecomposition, decompose_tile
+from .config import ArchConfig
+
+#: Unit label: a {+1,-1} correction element that accumulates a weight row.
+LABEL_NONZERO = "nonzero"
+#: Unit label: a partial sum carried from the previous K partition.
+LABEL_PSUM = "psum"
+
+
+@dataclass(frozen=True)
+class PackUnit:
+    """One unit of the compact Level 2 data structure.
+
+    Attributes
+    ----------
+    label:
+        Either :data:`LABEL_NONZERO` (weight accumulation) or
+        :data:`LABEL_PSUM` (partial-sum accumulation).
+    index:
+        Column index of the weight row, or the partial-sum slot index.
+    value:
+        +1 or -1 for nonzeros; always +1 for partial sums.
+    row_id:
+        The output row this unit contributes to.
+    """
+
+    label: str
+    index: int
+    value: int
+    row_id: int
+
+    def __post_init__(self) -> None:
+        if self.label not in (LABEL_NONZERO, LABEL_PSUM):
+            raise ValueError(f"invalid unit label {self.label!r}")
+        if self.value not in (-1, 1):
+            raise ValueError("unit value must be +1 or -1")
+
+
+@dataclass
+class Pack:
+    """A fixed-capacity group of units processed by the L2 processor."""
+
+    capacity: int
+    units: list[PackUnit] = field(default_factory=list)
+
+    @property
+    def num_units(self) -> int:
+        """Number of occupied units."""
+        return len(self.units)
+
+    @property
+    def free_space(self) -> int:
+        """Remaining unit slots."""
+        return self.capacity - len(self.units)
+
+    @property
+    def row_ids(self) -> list[int]:
+        """Distinct output rows contributing units, in insertion order."""
+        seen: list[int] = []
+        for unit in self.units:
+            if unit.row_id not in seen:
+                seen.append(unit.row_id)
+        return seen
+
+    def psum_banks(self, num_banks: int) -> set[int]:
+        """Partial-sum buffer banks already referenced by this pack."""
+        return {unit.row_id % num_banks for unit in self.units if unit.label == LABEL_PSUM}
+
+    def add_row(self, units: list[PackUnit]) -> None:
+        """Append all units of one compressed row."""
+        if len(units) > self.free_space:
+            raise ValueError("row does not fit into the pack")
+        self.units.extend(units)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of occupied unit slots."""
+        return self.num_units / self.capacity if self.capacity else 0.0
+
+
+@dataclass(frozen=True)
+class CompressedRow:
+    """Column-index representation of one nonzero Level 2 row."""
+
+    row_id: int
+    columns: tuple[int, ...]
+    values: tuple[int, ...]
+    needs_psum: bool
+
+    @property
+    def num_nonzeros(self) -> int:
+        """Number of {+1, -1} corrections in the row."""
+        return len(self.columns)
+
+    def units(self) -> list[PackUnit]:
+        """Expand the row into pack units (corrections plus partial sum)."""
+        units = [
+            PackUnit(label=LABEL_NONZERO, index=col, value=val, row_id=self.row_id)
+            for col, val in zip(self.columns, self.values)
+        ]
+        if self.needs_psum:
+            units.append(
+                PackUnit(label=LABEL_PSUM, index=self.row_id, value=1, row_id=self.row_id)
+            )
+        return units
+
+
+@dataclass
+class MatcherResult:
+    """Output of the pattern matcher for one activation tile."""
+
+    decomposition: TileDecomposition
+    cycles: int
+    comparisons: int
+
+    @property
+    def pattern_indices(self) -> np.ndarray:
+        """Assigned pattern index per row (0 = no pattern)."""
+        return self.decomposition.pattern_indices
+
+    @property
+    def level2(self) -> np.ndarray:
+        """The {+1, 0, -1} Level 2 correction matrix."""
+        return self.decomposition.level2
+
+
+class PatternMatcher:
+    """1-D systolic array of matcher units (one per pattern).
+
+    The array sustains one activation row per cycle; its pipeline-fill
+    latency is hidden by overlapping with L1/L2 processing, so the cycle
+    cost of a tile is its row count.
+    """
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+
+    def match_tile(self, tile: np.ndarray, patterns: PatternSet) -> MatcherResult:
+        """Match every row of a binary tile against the pattern set."""
+        decomposition = decompose_tile(tile, patterns)
+        rows = tile.shape[0]
+        comparisons = rows * patterns.num_patterns
+        return MatcherResult(
+            decomposition=decomposition, cycles=rows, comparisons=comparisons
+        )
+
+
+@dataclass
+class CompressorResult:
+    """Output of the compressor for one Level 2 tile."""
+
+    rows: list[CompressedRow]
+    cycles: int
+    filtered_rows: int
+
+    @property
+    def total_nonzeros(self) -> int:
+        """Total corrections across all surviving rows."""
+        return sum(row.num_nonzeros for row in self.rows)
+
+
+class Compressor:
+    """Filter all-zero Level 2 rows and extract column indices."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+
+    def compress(
+        self, level2: np.ndarray, *, needs_psum: bool = True
+    ) -> CompressorResult:
+        """Compress a ``(M, k)`` Level 2 matrix into sparse rows."""
+        level2 = np.asarray(level2)
+        rows: list[CompressedRow] = []
+        filtered = 0
+        for row_id in range(level2.shape[0]):
+            cols = np.flatnonzero(level2[row_id])
+            if cols.size == 0:
+                filtered += 1
+                continue
+            values = level2[row_id, cols].astype(int)
+            rows.append(
+                CompressedRow(
+                    row_id=row_id,
+                    columns=tuple(int(c) for c in cols),
+                    values=tuple(int(v) for v in values),
+                    needs_psum=needs_psum,
+                )
+            )
+        # The compressor scans one matcher output row per cycle.
+        return CompressorResult(rows=rows, cycles=level2.shape[0], filtered_rows=filtered)
+
+
+@dataclass
+class PackerResult:
+    """Output of the packer for one tile."""
+
+    packs: list[Pack]
+    cycles: int
+    evictions: int
+
+    @property
+    def average_utilization(self) -> float:
+        """Mean pack occupancy (1.0 = every unit slot used)."""
+        if not self.packs:
+            return 0.0
+        return float(np.mean([pack.utilization for pack in self.packs]))
+
+    @property
+    def total_units(self) -> int:
+        """Total units across all packs."""
+        return sum(pack.num_units for pack in self.packs)
+
+
+class Packer:
+    """Pack compressed rows into fixed-size packs with conflict avoidance.
+
+    The packer keeps ``packer_windows`` open packs.  An incoming row goes
+    to a window that (a) has enough free units and (b) whose existing
+    partial-sum banks do not conflict with the row's bank.  When no window
+    qualifies, the most-filled window is evicted to the pack buffer.
+    """
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+        self.num_banks = config.num_channels
+
+    def pack_rows(self, rows: list[CompressedRow]) -> PackerResult:
+        """Pack the compressed rows of one tile."""
+        capacity = self.config.pack_size
+        windows: list[Pack] = [Pack(capacity) for _ in range(self.config.packer_windows)]
+        finished: list[Pack] = []
+        evictions = 0
+        cycles = 0
+
+        for row in rows:
+            cycles += 1
+            all_units = row.units()
+            # With the calibrated pattern count a row never exceeds a pack
+            # (Section 4.2.2); tiny pattern sets used in sweeps can violate
+            # that, in which case the row is split across several packs.
+            chunks = [
+                all_units[i : i + capacity] for i in range(0, len(all_units), capacity)
+            ]
+            for units in chunks:
+                row_bank = row.row_id % self.num_banks
+                placed = False
+                for window in windows:
+                    if window.free_space < len(units):
+                        continue
+                    if row.needs_psum and row_bank in window.psum_banks(self.num_banks):
+                        continue
+                    window.add_row(units)
+                    placed = True
+                    break
+                if placed:
+                    continue
+                # Evict the most-filled window and reuse it.
+                victim = max(range(len(windows)), key=lambda i: windows[i].num_units)
+                if windows[victim].num_units:
+                    finished.append(windows[victim])
+                    evictions += 1
+                windows[victim] = Pack(capacity)
+                windows[victim].add_row(units)
+
+        for window in windows:
+            if window.num_units:
+                finished.append(window)
+        return PackerResult(packs=finished, cycles=cycles, evictions=evictions)
+
+
+@dataclass
+class PreprocessorResult:
+    """Combined result of matching, compressing and packing one tile."""
+
+    matcher: MatcherResult
+    compressor: CompressorResult
+    packer: PackerResult
+
+    @property
+    def cycles(self) -> int:
+        """Preprocessor cycles for the tile (stages are pipelined)."""
+        return max(self.matcher.cycles, self.compressor.cycles, self.packer.cycles)
+
+    @property
+    def packs(self) -> list[Pack]:
+        """The Level 2 packs ready for the L2 processor."""
+        return self.packer.packs
+
+
+class Preprocessor:
+    """The full Phi Preprocessor pipeline for one activation tile."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+        self.matcher = PatternMatcher(config)
+        self.compressor = Compressor(config)
+        self.packer = Packer(config)
+
+    def process_tile(
+        self, tile: np.ndarray, patterns: PatternSet, *, needs_psum: bool = True
+    ) -> PreprocessorResult:
+        """Run matcher, compressor and packer on one binary tile."""
+        matched = self.matcher.match_tile(tile, patterns)
+        compressed = self.compressor.compress(matched.level2, needs_psum=needs_psum)
+        packed = self.packer.pack_rows(compressed.rows)
+        return PreprocessorResult(
+            matcher=matched, compressor=compressed, packer=packed
+        )

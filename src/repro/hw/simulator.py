@@ -1,0 +1,435 @@
+"""End-to-end Phi accelerator simulator.
+
+The simulator follows the methodology of the paper (Section 5.1): it takes
+the recorded spike activations of a model together with the calibrated
+patterns, models the behaviour of every architectural component at the
+tile level, and reports cycles, memory traffic and energy.
+
+Execution model per layer (K-first tiling, Section 4.1):
+
+* the activation matrix is split into ``tile_m``-row M tiles, ``tile_k``
+  wide K partitions and ``tile_n`` wide N tiles,
+* the Preprocessor converts every (M tile, partition) into the Level 1
+  pattern-index column and the packed Level 2 representation; this work is
+  overlapped with the previous tile's compute, so it adds energy but no
+  critical-path cycles,
+* per output tile (M tile, N tile) the L1 and L2 processors run
+  concurrently and synchronise at the tile boundary, so the tile's compute
+  latency is the maximum of the two,
+* DRAM traffic (compressed activations, weights, prefetched PWPs, spilled
+  partial sums) is bandwidth-limited and can bound the layer latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.calibration import LayerCalibration, ModelCalibration, PhiCalibrator
+from ..core.config import PhiConfig
+from ..core.metrics import (
+    OperationCounts,
+    SparsityBreakdown,
+    aggregate_breakdowns,
+    aggregate_operation_counts,
+    operation_counts,
+    sparsity_breakdown,
+)
+from ..core.sparsity import decompose_matrix, partition_boundaries
+from ..workloads.workload import LayerWorkload, ModelWorkload
+from .buffers import BufferSet
+from .config import ArchConfig
+from .dram import DRAMModel
+from .energy import EnergyBreakdown, PhiEnergyModel
+from .l1_processor import L1Processor
+from .l2_processor import L2Processor
+from .neuron_array import SpikingNeuronArray
+from .preprocessor import Preprocessor
+
+
+@dataclass
+class LayerSimulation:
+    """Simulation outcome of a single layer."""
+
+    layer_name: str
+    m: int
+    k: int
+    n: int
+    compute_cycles: float
+    memory_cycles: float
+    preprocessor_cycles: float
+    l1_cycles: float
+    l2_cycles: float
+    neuron_cycles: float
+    operation_counts: OperationCounts
+    breakdown: SparsityBreakdown
+    activation_bytes: float
+    activation_bytes_uncompressed: float
+    weight_bytes: float
+    pwp_bytes_prefetched: float
+    pwp_bytes_unfiltered: float
+    output_bytes: float
+    psum_spill_bytes: float
+    pattern_match_comparisons: int
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+
+    @property
+    def total_cycles(self) -> float:
+        """Layer latency: compute overlapped with (bounded by) memory."""
+        return max(self.compute_cycles, self.memory_cycles)
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total DRAM traffic of the layer (prefetcher enabled)."""
+        return (
+            self.activation_bytes
+            + self.weight_bytes
+            + self.pwp_bytes_prefetched
+            + self.output_bytes
+            + self.psum_spill_bytes
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated simulation outcome for a model workload."""
+
+    model_name: str
+    dataset_name: str
+    config: ArchConfig
+    layers: list[LayerSimulation] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        """Canonical workload identifier."""
+        return f"{self.model_name}/{self.dataset_name}"
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end cycles (layers execute back to back)."""
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Wall-clock runtime at the configured frequency."""
+        return self.total_cycles / self.config.frequency_hz
+
+    @property
+    def total_operations(self) -> int:
+        """Paper-defined OP count (Section 5.1).
+
+        One OP is the scalar accumulation triggered by a '1' element of the
+        bit-sparse activation, so the total is (number of 1 bits) x N for
+        every layer regardless of how the accelerator actually executes it.
+        """
+        return sum(
+            layer.operation_counts.bit_sparse_ops * layer.n for layer in self.layers
+        )
+
+    @property
+    def throughput_gops(self) -> float:
+        """Effective throughput in GOP/s (OPs defined as in Section 5.1)."""
+        if self.runtime_seconds == 0:
+            return 0.0
+        return self.total_operations / self.runtime_seconds / 1e9
+
+    @property
+    def energy(self) -> EnergyBreakdown:
+        """Total energy across all layers."""
+        total = EnergyBreakdown()
+        for layer in self.layers:
+            total = total + layer.energy
+        return total
+
+    @property
+    def energy_joules(self) -> float:
+        """Total energy in Joules."""
+        return self.energy.total
+
+    @property
+    def energy_efficiency_gops_per_joule(self) -> float:
+        """Energy efficiency in GOP/J."""
+        if self.energy_joules == 0:
+            return 0.0
+        return self.total_operations / self.energy_joules / 1e9
+
+    @property
+    def total_dram_bytes(self) -> float:
+        """Total DRAM traffic."""
+        return sum(layer.dram_bytes for layer in self.layers)
+
+    def aggregate_breakdown(self) -> SparsityBreakdown:
+        """Element-weighted sparsity breakdown over all layers."""
+        return aggregate_breakdowns(
+            (layer.breakdown, layer.m * layer.k) for layer in self.layers
+        )
+
+    def aggregate_operations(self) -> OperationCounts:
+        """Summed operation counts over all layers."""
+        return aggregate_operation_counts(layer.operation_counts for layer in self.layers)
+
+
+class PhiSimulator:
+    """Cycle-level simulator of the Phi accelerator.
+
+    Parameters
+    ----------
+    arch_config:
+        Architecture parameters (tile sizes, buffers, frequency).
+    phi_config:
+        Algorithm parameters (partition width, pattern count) used when the
+        simulator has to calibrate patterns itself.
+    energy_model:
+        Optional custom energy model (defaults to the Table 3 constants).
+    """
+
+    def __init__(
+        self,
+        arch_config: ArchConfig | None = None,
+        phi_config: PhiConfig | None = None,
+        *,
+        energy_model: PhiEnergyModel | None = None,
+    ) -> None:
+        self.arch = arch_config or ArchConfig()
+        self.phi_config = phi_config or PhiConfig(
+            partition_size=self.arch.tile_k, num_patterns=self.arch.num_patterns
+        )
+        if self.phi_config.partition_size != self.arch.tile_k:
+            raise ValueError(
+                "phi_config.partition_size must equal arch_config.tile_k "
+                f"({self.phi_config.partition_size} != {self.arch.tile_k})"
+            )
+        self.energy_model = energy_model or PhiEnergyModel(self.arch)
+        self.preprocessor = Preprocessor(self.arch)
+        self.l1 = L1Processor(self.arch)
+        self.l2 = L2Processor(self.arch)
+        self.neuron_array = SpikingNeuronArray(self.arch)
+
+    # ------------------------------------------------------------------ #
+    def _calibration_for(
+        self, layer: LayerWorkload, calibration: ModelCalibration | None
+    ) -> LayerCalibration:
+        if calibration is not None and layer.name in calibration:
+            return calibration[layer.name]
+        calibrator = PhiCalibrator(self.phi_config)
+        return calibrator.calibrate_layer(layer.name, layer.activations)
+
+    def simulate_layer(
+        self,
+        layer: LayerWorkload,
+        *,
+        layer_calibration: LayerCalibration | None = None,
+    ) -> LayerSimulation:
+        """Simulate one spike GEMM on the Phi accelerator."""
+        arch = self.arch
+        if layer_calibration is None:
+            layer_calibration = self._calibration_for(layer, None)
+        if layer_calibration.total_width != layer.k:
+            raise ValueError(
+                f"calibration width {layer_calibration.total_width} does not match "
+                f"layer K={layer.k}"
+            )
+
+        decomposition = decompose_matrix(
+            layer.activations, layer_calibration.pattern_sets, arch.tile_k
+        )
+        breakdown = sparsity_breakdown(decomposition)
+        ops = operation_counts(decomposition)
+
+        boundaries = partition_boundaries(layer.k, arch.tile_k)
+        num_partitions = len(boundaries)
+        num_n_tiles = int(np.ceil(layer.n / arch.tile_n))
+        pattern_index_matrix = decomposition.pattern_index_matrix()
+
+        compute_cycles = 0.0
+        preproc_cycles = 0.0
+        l1_cycles_total = 0.0
+        l2_cycles_total = 0.0
+        neuron_cycles_total = 0.0
+        match_comparisons = 0
+        l2_nonzeros_total = 0
+        unique_pattern_rows = 0  # distinct (partition, pattern) pairs, whole layer
+        per_tile_unique_rows = 0  # summed per-M-tile uniques (no cross-tile reuse)
+
+        for m_start in range(0, layer.m, arch.tile_m):
+            m_stop = min(m_start + arch.tile_m, layer.m)
+            tile_rows = m_stop - m_start
+
+            # --- Preprocessor: one pass per K partition of this M tile. ---
+            tile_packs = []
+            tile_preproc = 0.0
+            for p, (k_start, k_stop) in enumerate(boundaries):
+                tile = layer.activations[m_start:m_stop, k_start:k_stop]
+                result = self.preprocessor.process_tile(
+                    tile,
+                    layer_calibration.pattern_sets[p],
+                    needs_psum=(p > 0),
+                )
+                tile_packs.extend(result.packs)
+                tile_preproc += result.cycles
+                match_comparisons += result.matcher.comparisons
+                l2_nonzeros_total += result.compressor.total_nonzeros
+            preproc_cycles += tile_preproc
+
+            # --- L1 processor on the pattern-index sub-matrix. ---
+            l1_result = self.l1.process_tile(
+                pattern_index_matrix[m_start:m_stop],
+                num_patterns_per_partition=self.phi_config.num_patterns,
+                output_width=arch.tile_n,
+            )
+            # --- L2 processor on the packed Level 2 representation. ---
+            l2_result = self.l2.process_packs(tile_packs, output_width=arch.tile_n)
+
+            # The same L1/L2 work repeats for every N tile (different
+            # weight / PWP columns), and within an output tile the two
+            # processors run concurrently and synchronise at the end.
+            tile_compute = max(l1_result.cycles, l2_result.cycles) * num_n_tiles
+            compute_cycles += tile_compute
+            l1_cycles_total += l1_result.cycles * num_n_tiles
+            l2_cycles_total += l2_result.cycles * num_n_tiles
+
+            neuron = self.neuron_array.estimate(tile_rows, layer.n)
+            neuron_cycles_total += neuron.cycles
+            per_tile_unique_rows += l1_result.unique_patterns_used
+
+        # Distinct (partition, pattern) pairs used anywhere in the layer —
+        # the working set the PWP prefetcher must bring on chip at least once.
+        for partition in range(num_partitions):
+            used = np.unique(pattern_index_matrix[:, partition])
+            unique_pattern_rows += int(np.count_nonzero(used))
+
+        # --- PWP DRAM traffic (Section 4.4 prefetcher) -------------------
+        # A PWP row spans the full N width of the layer.  Every PWP that is
+        # used anywhere in the layer must be fetched at least once; when the
+        # used working set exceeds the PWP buffer, a fraction of the
+        # per-M-tile re-uses miss on chip and are fetched again.
+        pwp_row_bytes = layer.n * arch.pwp_bytes
+        pwp_working_set = unique_pattern_rows * pwp_row_bytes
+        per_tile_total = per_tile_unique_rows * pwp_row_bytes
+        if pwp_working_set <= arch.buffers.pwp:
+            pwp_prefetched = float(pwp_working_set)
+        else:
+            miss_ratio = 1.0 - arch.buffers.pwp / pwp_working_set
+            reload_candidates = max(per_tile_total - pwp_working_set, 0.0)
+            pwp_prefetched = float(pwp_working_set + reload_candidates * miss_ratio)
+        # Without the prefetcher every calibrated pattern of every partition
+        # is streamed for every M tile (Fig. 12b "w/o Prefetch").
+        num_m_tiles = int(np.ceil(layer.m / arch.tile_m))
+        pwp_unfiltered = float(
+            num_partitions * self.phi_config.num_patterns * pwp_row_bytes * num_m_tiles
+        )
+
+        # ------------------------------------------------------------------
+        # DRAM traffic
+        # ------------------------------------------------------------------
+        # Compressed activation representation: pattern-index matrix (one
+        # byte per entry) plus 5 bits per Level 2 nonzero (4-bit column
+        # index inside the k=16 partition plus a sign bit).
+        pattern_index_bytes = float(layer.m * num_partitions)
+        level2_nonzeros = sum(
+            int(np.count_nonzero(t.level2)) for t in decomposition.tiles
+        )
+        activation_bytes = pattern_index_bytes + 0.625 * float(level2_nonzeros)
+        # Uncompressed Phi representation: 2-bit element matrix + indices.
+        activation_bytes_uncompressed = layer.m * layer.k / 4.0 + pattern_index_bytes
+
+        weight_bytes = float(layer.k * layer.n * arch.weight_bytes)
+        output_bytes = float(layer.m * layer.n / 8.0)  # spike outputs, 1 bit each
+
+        # Partial sums spill to DRAM only when an M x N tile of psums
+        # exceeds the partial-sum buffer.
+        psum_tile_bytes = arch.tile_m * layer.n * arch.psum_bytes
+        psum_spill = 0.0
+        if psum_tile_bytes > arch.buffers.partial_sum:
+            spill_per_tile = psum_tile_bytes - arch.buffers.partial_sum
+            psum_spill = spill_per_tile * int(np.ceil(layer.m / arch.tile_m)) * 2.0
+
+        dram_bytes = (
+            activation_bytes + weight_bytes + pwp_prefetched + output_bytes + psum_spill
+        )
+        memory_cycles = dram_bytes / arch.dram_bytes_per_cycle
+
+        layer_sim = LayerSimulation(
+            layer_name=layer.name,
+            m=layer.m,
+            k=layer.k,
+            n=layer.n,
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            preprocessor_cycles=preproc_cycles,
+            l1_cycles=l1_cycles_total,
+            l2_cycles=l2_cycles_total,
+            neuron_cycles=neuron_cycles_total,
+            operation_counts=ops,
+            breakdown=breakdown,
+            activation_bytes=activation_bytes,
+            activation_bytes_uncompressed=activation_bytes_uncompressed,
+            weight_bytes=weight_bytes,
+            pwp_bytes_prefetched=pwp_prefetched,
+            pwp_bytes_unfiltered=pwp_unfiltered,
+            output_bytes=output_bytes,
+            psum_spill_bytes=psum_spill,
+            pattern_match_comparisons=match_comparisons,
+        )
+        layer_sim.energy = self._layer_energy(layer_sim)
+        return layer_sim
+
+    def _layer_energy(self, sim: LayerSimulation) -> EnergyBreakdown:
+        """Energy of one simulated layer from its activity counters."""
+        n_scale = max(sim.n / self.arch.tile_n, 1.0)
+        component_busy = {
+            "preprocessor": sim.preprocessor_cycles,
+            "l1_processor": sim.l1_cycles,
+            "l2_processor": sim.l2_cycles,
+            "lif_neuron": sim.neuron_cycles,
+            # Buffers burn leakage/access power for the whole layer runtime.
+            "buffer": sim.total_cycles,
+        }
+        # On-chip buffer traffic: weight + PWP reads for every reuse, psum
+        # read/write per accumulation, pattern-index reads.
+        ops = sim.operation_counts
+        buffer_bytes = (
+            ops.phi_level1_ops * self.arch.tile_n * self.arch.pwp_bytes * n_scale
+            + ops.phi_level2_ops * self.arch.tile_n * self.arch.weight_bytes * n_scale
+            + (ops.phi_level1_ops + ops.phi_level2_ops)
+            * self.arch.tile_n
+            * self.arch.psum_bytes
+            * n_scale
+        )
+        return self.energy_model.energy_from_activity(
+            component_busy_cycles=component_busy,
+            buffer_bytes=buffer_bytes,
+            dram_bytes=sim.dram_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        workload: ModelWorkload,
+        *,
+        calibration: ModelCalibration | None = None,
+    ) -> SimulationResult:
+        """Simulate every layer of a model workload.
+
+        Parameters
+        ----------
+        workload:
+            The per-layer activation / weight matrices.
+        calibration:
+            Patterns calibrated on a training subset.  When omitted, each
+            layer is calibrated on its own activations (upper bound on
+            pattern quality; Section 3.2 shows train-calibrated patterns
+            generalise, so the difference is small).
+        """
+        result = SimulationResult(
+            model_name=workload.model_name,
+            dataset_name=workload.dataset_name,
+            config=self.arch,
+        )
+        for layer in workload:
+            layer_calibration = self._calibration_for(layer, calibration)
+            result.layers.append(
+                self.simulate_layer(layer, layer_calibration=layer_calibration)
+            )
+        return result

@@ -1,0 +1,95 @@
+"""Input encodings that convert analog data into spike trains.
+
+SNNs consume information over ``T`` discrete time steps.  The common
+choices are *rate coding* (each pixel spikes with probability equal to its
+intensity at every step), *latency coding* (brighter pixels spike earlier)
+and *direct coding* (the analog input is applied as a constant current at
+every step and the first spiking layer binarises it).  Event-stream data
+(e.g. CIFAR10-DVS) is already temporal and binary, so it maps one-to-one to
+time steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rate_encode(
+    data: np.ndarray, num_steps: int, *, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Bernoulli rate coding: spike probability equals normalised intensity.
+
+    Parameters
+    ----------
+    data:
+        Array with values in [0, 1]; any shape.
+    num_steps:
+        Number of time steps ``T``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Binary array of shape ``(T,) + data.shape``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    if np.any(data < 0) or np.any(data > 1):
+        raise ValueError("rate_encode expects data normalised to [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    random = rng.random((num_steps,) + data.shape)
+    return (random < data[None]).astype(np.float64)
+
+
+def latency_encode(data: np.ndarray, num_steps: int) -> np.ndarray:
+    """Latency coding: each element spikes exactly once, earlier if larger.
+
+    Elements equal to zero never spike.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    if np.any(data < 0) or np.any(data > 1):
+        raise ValueError("latency_encode expects data normalised to [0, 1]")
+    spikes = np.zeros((num_steps,) + data.shape, dtype=np.float64)
+    # Larger values fire earlier: time = floor((1 - value) * (T - 1)).
+    fire_time = np.floor((1.0 - data) * (num_steps - 1)).astype(np.int64)
+    nonzero = data > 0
+    if num_steps == 1:
+        spikes[0][nonzero] = 1.0
+        return spikes
+    idx = np.argwhere(nonzero)
+    for index in idx:
+        t = fire_time[tuple(index)]
+        spikes[(t,) + tuple(index)] = 1.0
+    return spikes
+
+
+def direct_encode(data: np.ndarray, num_steps: int) -> np.ndarray:
+    """Direct coding: repeat the analog input at every time step."""
+    data = np.asarray(data, dtype=np.float64)
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    return np.repeat(data[None], num_steps, axis=0)
+
+
+def event_stream_encode(events: np.ndarray, num_steps: int) -> np.ndarray:
+    """Re-bin an event stream ``(T_in, ...)`` into ``num_steps`` frames.
+
+    Multiple input frames falling into the same output step are OR-ed
+    together so the result stays binary, mirroring the standard frame-based
+    pre-processing of DVS datasets.
+    """
+    events = np.asarray(events, dtype=np.float64)
+    if events.ndim < 1:
+        raise ValueError("events must have a leading time dimension")
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    t_in = events.shape[0]
+    out = np.zeros((num_steps,) + events.shape[1:], dtype=np.float64)
+    edges = np.linspace(0, t_in, num_steps + 1).astype(int)
+    for step in range(num_steps):
+        start, stop = edges[step], edges[step + 1]
+        if stop > start:
+            out[step] = (events[start:stop].sum(axis=0) > 0).astype(np.float64)
+    return out

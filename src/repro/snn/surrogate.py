@@ -1,0 +1,87 @@
+"""Surrogate gradient functions for spiking neurons.
+
+Spike generation is a Heaviside step of the membrane potential, whose true
+derivative is zero almost everywhere.  Training SNNs with backpropagation
+therefore replaces the derivative with a smooth *surrogate*.  This module
+provides the common choices used by spiking VGG / ResNet / transformer
+models; the training loop multiplies upstream gradients by
+``surrogate(membrane - threshold)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+SurrogateFn = Callable[[np.ndarray], np.ndarray]
+
+
+def heaviside(x: np.ndarray) -> np.ndarray:
+    """Hard threshold used in the forward pass: 1 where ``x >= 0``."""
+    return (np.asarray(x) >= 0).astype(np.float64)
+
+
+@dataclass(frozen=True)
+class RectangularSurrogate:
+    """Boxcar surrogate: constant gradient within ``width`` of threshold."""
+
+    width: float = 1.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return (np.abs(x) <= self.width / 2).astype(np.float64) / self.width
+
+
+@dataclass(frozen=True)
+class SigmoidSurrogate:
+    """Derivative of a scaled sigmoid, the snnTorch / SpikingJelly default."""
+
+    alpha: float = 4.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        sig = 1.0 / (1.0 + np.exp(-self.alpha * x))
+        return self.alpha * sig * (1.0 - sig)
+
+
+@dataclass(frozen=True)
+class ArctanSurrogate:
+    """Derivative of a scaled arctan, used by Spikformer-style models."""
+
+    alpha: float = 2.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self.alpha / (2.0 * (1.0 + (np.pi / 2.0 * self.alpha * x) ** 2))
+
+
+@dataclass(frozen=True)
+class TriangularSurrogate:
+    """Piecewise-linear (triangle) surrogate."""
+
+    width: float = 1.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.maximum(0.0, 1.0 - np.abs(x) / self.width) / self.width
+
+
+_REGISTRY: dict[str, Callable[[], SurrogateFn]] = {
+    "rectangular": RectangularSurrogate,
+    "sigmoid": SigmoidSurrogate,
+    "arctan": ArctanSurrogate,
+    "triangular": TriangularSurrogate,
+}
+
+
+def get_surrogate(name: str, **kwargs) -> SurrogateFn:
+    """Look up a surrogate gradient function by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown surrogate {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,155 @@
+"""Tests for the baseline accelerator models and the Phi adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PTB,
+    SATO,
+    AcceleratorReport,
+    PhiAccelerator,
+    SpikingEyeriss,
+    SpinalFlow,
+    Stellar,
+    available_baselines,
+    get_baseline,
+    load_imbalance_cycles,
+    paper_operations,
+)
+from repro.core import PhiConfig
+from repro.workloads import generate_random_workload
+
+
+@pytest.fixture(scope="module")
+def reports(vgg_workload):
+    reports = {name: get_baseline(name).simulate(vgg_workload) for name in available_baselines()}
+    phi = PhiAccelerator(
+        phi_config=PhiConfig(partition_size=16, num_patterns=32, calibration_samples=2000)
+    )
+    reports["phi"] = phi.simulate(vgg_workload)
+    return reports
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_baselines() == ["eyeriss", "ptb", "sato", "spinalflow", "stellar"]
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_baseline("tpu")
+
+    def test_instances(self):
+        assert isinstance(get_baseline("eyeriss"), SpikingEyeriss)
+        assert isinstance(get_baseline("ptb"), PTB)
+        assert isinstance(get_baseline("sato"), SATO)
+        assert isinstance(get_baseline("spinalflow"), SpinalFlow)
+        assert isinstance(get_baseline("stellar"), Stellar)
+
+
+class TestHelpers:
+    def test_paper_operations(self, vgg_workload):
+        layer = vgg_workload[0]
+        assert paper_operations(layer) == int(layer.activations.sum()) * layer.n
+
+    def test_load_imbalance_at_least_balanced(self, rng):
+        activations = (rng.random((64, 32)) < 0.2).astype(np.uint8)
+        imbalanced = load_imbalance_cycles(activations, lanes=64, rows_per_group=8, work_per_one=1)
+        balanced = activations.sum() / 64
+        assert imbalanced >= balanced
+
+    def test_load_imbalance_invalid(self):
+        with pytest.raises(ValueError):
+            load_imbalance_cycles(np.zeros((2, 2)), lanes=0, rows_per_group=1, work_per_one=1)
+
+
+class TestReports:
+    def test_all_reports_consistent(self, reports, vgg_workload):
+        for name, report in reports.items():
+            assert isinstance(report, AcceleratorReport)
+            assert report.total_cycles > 0, name
+            assert report.total_operations > 0, name
+            assert report.energy_joules > 0, name
+            assert report.throughput_gops > 0, name
+            assert report.area_efficiency_gops_per_mm2 > 0, name
+
+    def test_same_operation_count_across_accelerators(self, reports):
+        ops = {name: r.total_operations for name, r in reports.items()}
+        assert len(set(ops.values())) == 1  # the OP definition is shared
+
+    def test_energy_breakdown_sums(self, reports):
+        for report in reports.values():
+            breakdown = report.energy_breakdown()
+            assert sum(breakdown.values()) == pytest.approx(report.energy_joules)
+
+
+class TestOrdering:
+    """The qualitative ordering of Table 2 / Fig. 8 must hold."""
+
+    def test_sparse_accelerators_beat_dense(self, reports):
+        dense = reports["eyeriss"].throughput_gops
+        for name in ("ptb", "sato", "spinalflow", "stellar", "phi"):
+            assert reports[name].throughput_gops > dense, name
+
+    def test_phi_has_best_throughput(self, reports):
+        phi = reports["phi"].throughput_gops
+        for name, report in reports.items():
+            if name != "phi":
+                assert phi >= report.throughput_gops, name
+
+    def test_phi_beats_dense_energy_substantially(self, reports):
+        assert (
+            reports["phi"].energy_efficiency_gops_per_joule
+            > 3.0 * reports["eyeriss"].energy_efficiency_gops_per_joule
+        )
+
+    def test_phi_has_best_area_efficiency(self, reports):
+        phi = reports["phi"].area_efficiency_gops_per_mm2
+        for name, report in reports.items():
+            if name != "phi":
+                assert phi > report.area_efficiency_gops_per_mm2, name
+
+    def test_stellar_is_best_baseline(self, reports):
+        stellar = reports["stellar"].throughput_gops
+        for name in ("eyeriss", "ptb", "sato", "spinalflow"):
+            assert stellar >= reports[name].throughput_gops
+
+
+class TestCycleModels:
+    def test_eyeriss_ignores_sparsity(self):
+        sparse = generate_random_workload(density=0.05, m=128, k=64, n=32, seed=0)
+        dense = generate_random_workload(density=0.50, m=128, k=64, n=32, seed=0)
+        eyeriss = SpikingEyeriss()
+        assert eyeriss.simulate(sparse).total_cycles == pytest.approx(
+            eyeriss.simulate(dense).total_cycles
+        )
+
+    def test_spinalflow_scales_with_density(self):
+        sparse = generate_random_workload(density=0.05, m=128, k=64, n=32, seed=0)
+        dense = generate_random_workload(density=0.50, m=128, k=64, n=32, seed=0)
+        spinalflow = SpinalFlow()
+        assert (
+            spinalflow.simulate(dense).total_cycles
+            > spinalflow.simulate(sparse).total_cycles
+        )
+
+    def test_ptb_processes_whole_windows(self):
+        workload = generate_random_workload(density=0.3, m=64, k=32, n=8, seed=2)
+        ptb = PTB()
+        layer = workload[0]
+        assert ptb.layer_executed_accumulations(layer) >= paper_operations(layer)
+
+    def test_sato_load_imbalance_visible(self):
+        workload = generate_random_workload(density=0.2, m=128, k=64, n=16, seed=3)
+        layer = workload[0]
+        sato = SATO()
+        spinalflow = SpinalFlow()
+        # Per executed accumulation, SATO needs at least as many cycles as
+        # the sequential bit-sparse design because of group imbalance.
+        sato_cycles_per_op = sato.layer_compute_cycles(layer) / paper_operations(layer)
+        spinal_cycles_per_op = spinalflow.layer_compute_cycles(layer) / paper_operations(layer)
+        assert sato_cycles_per_op > spinal_cycles_per_op * 0.5
+
+    def test_stellar_fs_recode(self):
+        spikes = Stellar.fs_recode(np.array([0.25, 0.75]), num_steps=4)
+        assert spikes.shape == (4, 2)
+        assert set(np.unique(spikes)) <= {0.0, 1.0}

@@ -1,0 +1,68 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG, KMeansConfig, PhiConfig
+
+
+class TestKMeansConfig:
+    def test_defaults(self):
+        config = KMeansConfig()
+        assert config.max_iterations == 25
+        assert config.empty_cluster_strategy == "reseed"
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            KMeansConfig(max_iterations=0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            KMeansConfig(tolerance=1.5)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            KMeansConfig(empty_cluster_strategy="explode")
+
+
+class TestPhiConfig:
+    def test_paper_defaults(self):
+        assert PAPER_CONFIG.partition_size == 16
+        assert PAPER_CONFIG.num_patterns == 128
+
+    def test_invalid_partition(self):
+        with pytest.raises(ValueError):
+            PhiConfig(partition_size=0)
+
+    def test_invalid_pattern_count(self):
+        with pytest.raises(ValueError):
+            PhiConfig(num_patterns=0)
+
+    def test_pattern_count_exceeds_space(self):
+        with pytest.raises(ValueError):
+            PhiConfig(partition_size=2, num_patterns=5)
+
+    def test_invalid_calibration_samples(self):
+        with pytest.raises(ValueError):
+            PhiConfig(calibration_samples=0)
+
+    def test_with_overrides(self):
+        config = PhiConfig()
+        smaller = config.with_overrides(num_patterns=32)
+        assert smaller.num_patterns == 32
+        assert smaller.partition_size == config.partition_size
+        assert config.num_patterns == 128  # original unchanged
+
+    def test_round_trip_serialisation(self):
+        config = PhiConfig(partition_size=8, num_patterns=32, calibration_samples=123)
+        restored = PhiConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_from_dict_defaults(self):
+        config = PhiConfig.from_dict({})
+        assert config.partition_size == 16
+        assert config.num_patterns == 128
+
+    def test_frozen(self):
+        config = PhiConfig()
+        with pytest.raises(AttributeError):
+            config.partition_size = 8

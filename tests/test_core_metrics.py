@@ -1,0 +1,105 @@
+"""Unit tests for sparsity / operation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import PhiCalibrator
+from repro.core.metrics import (
+    OperationCounts,
+    aggregate_breakdowns,
+    aggregate_operation_counts,
+    geometric_mean,
+    operation_counts,
+    sparsity_breakdown,
+)
+
+
+@pytest.fixture
+def decomposition(binary_matrix, small_phi_config):
+    calibrator = PhiCalibrator(small_phi_config)
+    calibration = calibrator.calibrate_layer("layer0", binary_matrix)
+    return calibration.decompose(binary_matrix)
+
+
+class TestSparsityBreakdown:
+    def test_densities_in_range(self, decomposition):
+        breakdown = sparsity_breakdown(decomposition)
+        for value in breakdown.as_dict().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_level2_split(self, decomposition):
+        breakdown = sparsity_breakdown(decomposition)
+        assert breakdown.level2_density == pytest.approx(
+            breakdown.level2_positive_density + breakdown.level2_negative_density
+        )
+
+    def test_level2_below_bit_density(self, decomposition):
+        # The whole point of Phi: Level 2 is sparser than bit sparsity.
+        breakdown = sparsity_breakdown(decomposition)
+        assert breakdown.level2_density < breakdown.bit_density
+
+    def test_total_online_density(self, decomposition):
+        breakdown = sparsity_breakdown(decomposition)
+        assert breakdown.total_online_density == breakdown.level2_density
+
+
+class TestOperationCounts:
+    def test_counts_consistent(self, decomposition):
+        counts = operation_counts(decomposition)
+        assert counts.dense_ops > counts.bit_sparse_ops > 0
+        assert counts.phi_ops <= counts.bit_sparse_ops
+        assert counts.phi_ops == counts.phi_level1_ops + counts.phi_level2_ops
+
+    def test_speedups_at_least_one(self, decomposition):
+        counts = operation_counts(decomposition)
+        assert counts.speedup_over_bit >= 1.0
+        assert counts.speedup_over_dense >= counts.speedup_over_bit
+
+    def test_addition(self):
+        a = OperationCounts(10, 5, 2, 1)
+        b = OperationCounts(20, 8, 3, 2)
+        total = a + b
+        assert total.dense_ops == 30
+        assert total.bit_sparse_ops == 13
+        assert total.phi_ops == 8
+
+    def test_zero_phi_ops(self):
+        counts = OperationCounts(dense_ops=10, bit_sparse_ops=5, phi_level1_ops=0, phi_level2_ops=0)
+        assert counts.speedup_over_bit == float("inf")
+
+    def test_all_zero(self):
+        counts = OperationCounts(0, 0, 0, 0)
+        assert counts.speedup_over_bit == 1.0
+        assert counts.speedup_over_dense == 1.0
+
+    def test_aggregate(self):
+        counts = [OperationCounts(10, 5, 2, 1), OperationCounts(10, 5, 2, 1)]
+        total = aggregate_operation_counts(counts)
+        assert total.dense_ops == 20
+
+
+class TestAggregateBreakdowns:
+    def test_weighted_average(self, decomposition):
+        breakdown = sparsity_breakdown(decomposition)
+        merged = aggregate_breakdowns([(breakdown, 100), (breakdown, 300)])
+        assert merged.bit_density == pytest.approx(breakdown.bit_density)
+
+    def test_empty(self):
+        merged = aggregate_breakdowns([])
+        assert merged.bit_density == 0.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,141 @@
+"""Tests for the synthetic datasets and workload extraction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    available_datasets,
+    make_dataset,
+    make_event_dataset,
+    make_image_dataset,
+    make_text_dataset,
+)
+from repro.workloads import (
+    LayerWorkload,
+    ModelWorkload,
+    generate_random_workload,
+    generate_workload,
+    paper_workload_specs,
+)
+
+
+class TestSyntheticDatasets:
+    def test_available(self):
+        assert set(available_datasets()) == {
+            "cifar10", "cifar100", "cifar10dvs", "sst2", "sst5", "mnli",
+        }
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_dataset("imagenet")
+
+    def test_image_dataset_shapes(self):
+        dataset = make_image_dataset(num_train=20, num_test=10, image_size=8)
+        assert dataset.train_data.shape == (20, 3, 8, 8)
+        assert dataset.test_data.shape == (10, 3, 8, 8)
+        assert dataset.train_data.min() >= 0.0 and dataset.train_data.max() <= 1.0
+        assert dataset.kind == "image"
+
+    def test_image_labels_in_range(self):
+        dataset = make_image_dataset(num_train=30, num_classes=5)
+        assert dataset.train_labels.min() >= 0
+        assert dataset.train_labels.max() < 5
+
+    def test_event_dataset_binary(self):
+        dataset = make_event_dataset(num_train=10, num_test=5, image_size=8, num_steps=3)
+        assert dataset.train_data.shape == (10, 3, 2, 8, 8)
+        assert set(np.unique(dataset.train_data)) <= {0.0, 1.0}
+        assert dataset.kind == "event"
+
+    def test_text_dataset_tokens(self):
+        dataset = make_text_dataset(num_train=20, num_test=10, seq_len=8, vocab_size=64)
+        assert dataset.train_data.shape == (20, 8)
+        assert dataset.train_data.max() < 64
+        assert dataset.kind == "text"
+
+    def test_class_structure_exists(self):
+        # Same-class samples must be closer than different-class samples.
+        dataset = make_image_dataset(num_train=60, num_test=10, image_size=8, noise=0.1)
+        data = dataset.train_data.reshape(60, -1)
+        labels = dataset.train_labels
+        same, diff = [], []
+        for i in range(30):
+            for j in range(i + 1, 30):
+                distance = np.linalg.norm(data[i] - data[j])
+                (same if labels[i] == labels[j] else diff).append(distance)
+        if same and diff:
+            assert np.mean(same) < np.mean(diff)
+
+    def test_calibration_split(self):
+        dataset = make_image_dataset(num_train=40, num_test=10)
+        subset = dataset.calibration_split(0.25)
+        assert subset.shape[0] == 10
+        with pytest.raises(ValueError):
+            dataset.calibration_split(0.0)
+
+    def test_determinism(self):
+        a = make_image_dataset(seed=3, num_train=10, num_test=5)
+        b = make_image_dataset(seed=3, num_train=10, num_test=5)
+        assert np.array_equal(a.train_data, b.train_data)
+
+
+class TestLayerWorkload:
+    def test_properties(self, rng):
+        activations = (rng.random((10, 8)) < 0.3).astype(np.uint8)
+        weights = rng.standard_normal((8, 4))
+        layer = LayerWorkload("l0", activations, weights)
+        assert (layer.m, layer.k, layer.n) == (10, 8, 4)
+        assert layer.dense_macs == 320
+        assert layer.nonzero_accumulations == int(activations.sum()) * 4
+        assert np.allclose(layer.reference_output(), activations @ weights)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            LayerWorkload("bad", np.zeros((4, 5), dtype=np.uint8), np.zeros((4, 3)))
+
+    def test_rejects_non_binary(self, rng):
+        with pytest.raises(ValueError):
+            LayerWorkload("bad", np.full((2, 3), 2), np.zeros((3, 2)))
+
+
+class TestModelWorkload:
+    def test_aggregates(self, vgg_workload):
+        assert len(vgg_workload) > 0
+        assert vgg_workload.total_dense_macs > vgg_workload.total_bit_sparse_ops > 0
+        assert 0.0 < vgg_workload.average_bit_density < 1.0
+        assert set(vgg_workload.summary()) == set(vgg_workload.layer_names())
+
+    def test_activation_and_weight_maps(self, vgg_workload):
+        activations = vgg_workload.activation_matrices()
+        weights = vgg_workload.weight_matrices()
+        assert set(activations) == set(weights)
+
+
+class TestWorkloadGeneration:
+    def test_vgg_workload_is_binary(self, vgg_workload):
+        for layer in vgg_workload:
+            assert set(np.unique(layer.activations)) <= {0, 1}
+
+    def test_transformer_workload(self, spikformer_workload):
+        assert len(spikformer_workload) >= 5
+        assert spikformer_workload.average_bit_density < 0.5
+
+    def test_event_workload(self):
+        workload = generate_workload("sdt", "cifar10dvs", batch_size=2, num_steps=2)
+        assert len(workload) > 0
+
+    def test_text_workload(self):
+        workload = generate_workload("spikingbert", "mnli", batch_size=2, num_steps=2)
+        assert len(workload) > 0
+
+    def test_paper_specs(self):
+        specs = paper_workload_specs()
+        assert len(specs) == 12
+
+    def test_random_workload_density(self):
+        workload = generate_random_workload(density=0.2, m=100, k=64, n=16)
+        assert workload[0].bit_density == pytest.approx(0.2, abs=0.05)
+
+    def test_random_workload_invalid_density(self):
+        with pytest.raises(ValueError):
+            generate_random_workload(density=1.5)

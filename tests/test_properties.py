@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for the core invariants of Phi."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.kmeans import (
+    binary_kmeans,
+    filter_calibration_rows,
+    hamming_distance_matrix,
+)
+from repro.core.metrics import operation_counts, sparsity_breakdown
+from repro.core.patterns import PatternSet
+from repro.core.sparsity import decompose_matrix, decompose_tile, partition_boundaries
+
+binary_tiles = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 40), st.just(8)),
+    elements=st.integers(0, 1),
+)
+
+binary_patterns = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 6), st.just(8)),
+    elements=st.integers(0, 1),
+)
+
+binary_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 30), st.integers(1, 40)),
+    elements=st.integers(0, 1),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tile=binary_tiles, patterns=binary_patterns)
+def test_decomposition_is_always_exact(tile, patterns):
+    """L1 + L2 always reconstructs the original activation tile."""
+    pattern_set = PatternSet(patterns)
+    result = decompose_tile(tile, pattern_set)
+    assert np.array_equal(result.reconstruct(), tile.astype(np.int8))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tile=binary_tiles, patterns=binary_patterns)
+def test_level2_never_needs_more_work_than_bit_sparsity(tile, patterns):
+    """Per row, the corrections never exceed the row's own popcount."""
+    pattern_set = PatternSet(patterns)
+    result = decompose_tile(tile, pattern_set)
+    corrections = np.count_nonzero(result.level2, axis=1)
+    popcounts = tile.sum(axis=1)
+    assert np.all(corrections <= popcounts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tile=binary_tiles, patterns=binary_patterns)
+def test_level2_values_are_ternary(tile, patterns):
+    result = decompose_tile(tile, PatternSet(patterns))
+    assert set(np.unique(result.level2)) <= {-1, 0, 1}
+
+
+@settings(max_examples=30, deadline=None)
+@given(tile=binary_tiles, patterns=binary_patterns, data=st.data())
+def test_decomposed_matmul_matches_reference(tile, patterns, data):
+    """Computing through PWPs + Level 2 equals the plain GEMM."""
+    pattern_set = PatternSet(patterns)
+    result = decompose_tile(tile, pattern_set)
+    seed = data.draw(st.integers(0, 2**16))
+    weights = np.random.default_rng(seed).standard_normal((tile.shape[1], 3))
+    assert np.allclose(result.compute_output(weights), tile @ weights, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix=binary_matrices, partition=st.integers(2, 16))
+def test_matrix_decomposition_reconstructs(matrix, partition):
+    boundaries = partition_boundaries(matrix.shape[1], partition)
+    rng = np.random.default_rng(0)
+    pattern_sets = [
+        PatternSet((rng.random((4, stop - start)) < 0.4).astype(np.uint8))
+        for start, stop in boundaries
+    ]
+    result = decompose_matrix(matrix, pattern_sets, partition)
+    assert np.array_equal(result.reconstruct(), matrix.astype(np.int8))
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix=binary_matrices, partition=st.integers(2, 16))
+def test_operation_counts_invariants(matrix, partition):
+    boundaries = partition_boundaries(matrix.shape[1], partition)
+    rng = np.random.default_rng(1)
+    pattern_sets = [
+        PatternSet((rng.random((4, stop - start)) < 0.4).astype(np.uint8))
+        for start, stop in boundaries
+    ]
+    decomposition = decompose_matrix(matrix, pattern_sets, partition)
+    counts = operation_counts(decomposition)
+    breakdown = sparsity_breakdown(decomposition)
+    assert counts.bit_sparse_ops <= counts.dense_ops
+    assert counts.phi_level2_ops <= counts.bit_sparse_ops
+    assert 0.0 <= breakdown.level2_density <= breakdown.bit_density <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=arrays(
+        dtype=np.uint8,
+        shape=st.tuples(st.integers(2, 60), st.integers(2, 16)),
+        elements=st.integers(0, 1),
+    ),
+    clusters=st.integers(1, 8),
+)
+def test_kmeans_centers_binary_and_assignments_valid(rows, clusters):
+    result = binary_kmeans(rows, clusters)
+    assert set(np.unique(result.centers)) <= {0, 1}
+    assert result.assignments.min() >= 0
+    assert result.assignments.max() < clusters
+    assert result.inertia >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=arrays(
+        dtype=np.uint8,
+        shape=st.tuples(st.integers(1, 40), st.integers(1, 16)),
+        elements=st.integers(0, 1),
+    )
+)
+def test_filter_removes_only_degenerate_rows(rows):
+    filtered = filter_calibration_rows(rows)
+    assert np.all(filtered.sum(axis=1) >= 2)
+    kept_mask = rows.sum(axis=1) >= 2
+    assert filtered.shape[0] == int(kept_mask.sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=arrays(
+        dtype=np.uint8,
+        shape=st.tuples(st.integers(1, 20), st.integers(1, 12)),
+        elements=st.integers(0, 1),
+    ),
+    centers=arrays(
+        dtype=np.uint8,
+        shape=st.tuples(st.integers(1, 6), st.integers(1, 12)),
+        elements=st.integers(0, 1),
+    ),
+)
+def test_hamming_distance_matrix_properties(rows, centers):
+    if rows.shape[1] != centers.shape[1]:
+        rows = rows[:, : min(rows.shape[1], centers.shape[1])]
+        centers = centers[:, : rows.shape[1]]
+    distances = hamming_distance_matrix(rows, centers)
+    assert distances.min() >= 0
+    assert distances.max() <= rows.shape[1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(total=st.integers(1, 500), partition=st.integers(1, 64))
+def test_partition_boundaries_cover_exactly(total, partition):
+    boundaries = partition_boundaries(total, partition)
+    assert boundaries[0][0] == 0
+    assert boundaries[-1][1] == total
+    for (a_start, a_stop), (b_start, b_stop) in zip(boundaries, boundaries[1:]):
+        assert a_stop == b_start
+        assert a_stop - a_start == partition
+    assert all(stop > start for start, stop in boundaries)

@@ -1,0 +1,275 @@
+"""Unit tests for the spiking network layers (forward and backward)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.layers import (
+    AvgPool2d,
+    BatchNorm,
+    Conv2d,
+    Flatten,
+    LIFLayer,
+    Linear,
+    MaxPool2d,
+    col2im,
+    im2col,
+)
+
+
+def numeric_gradient(fn, x, eps=1e-5):
+    """Central-difference gradient of a scalar function of ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(8, 4)
+        out = layer.forward(np.ones((3, 8)))
+        assert out.shape == (3, 4)
+
+    def test_forward_1d_promoted(self):
+        layer = Linear(8, 4)
+        assert layer.forward(np.ones(8)).shape == (1, 4)
+
+    def test_backward_input_gradient(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        x = rng.standard_normal((4, 5))
+        out = layer.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_in = layer.backward(grad_out)
+
+        def loss(x_):
+            return float((layer.forward(x_) * grad_out).sum())
+
+        numeric = numeric_gradient(loss, x.copy())
+        assert np.allclose(grad_in, numeric, atol=1e-4)
+
+    def test_backward_weight_gradient(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        x = rng.standard_normal((4, 5))
+        grad_out = rng.standard_normal((4, 3))
+        layer.forward(x)
+        layer.backward(grad_out)
+        assert np.allclose(layer.weight_grad, x.T @ grad_out)
+        assert np.allclose(layer.bias_grad, grad_out.sum(axis=0))
+
+    def test_zero_gradients(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        layer.forward(rng.standard_normal((2, 5)))
+        layer.backward(np.ones((2, 3)))
+        layer.zero_gradients()
+        assert np.all(layer.weight_grad == 0)
+
+    def test_input_matrix_recorded(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        x = rng.standard_normal((2, 5))
+        layer.forward(x)
+        assert np.array_equal(layer.input_matrix(), x)
+        assert layer.weight_matrix().shape == (5, 3)
+        assert layer.output_width == 3
+
+    def test_input_matrix_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).input_matrix()
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).backward(np.ones((1, 2)))
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False)
+        assert "bias" not in layer.parameters()
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+
+class TestIm2col:
+    def test_shapes(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        cols, oh, ow = im2col(x, kernel=3, stride=1, padding=1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 64, 3 * 9)
+
+    def test_matches_direct_convolution(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        weight = rng.standard_normal((2 * 3 * 3, 4))
+        cols, oh, ow = im2col(x, 3, 1, 1)
+        out = (cols @ weight).reshape(1, oh, ow, 4).transpose(0, 3, 1, 2)
+        # Direct convolution at a single output position for verification.
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        patch = padded[0, :, 2:5, 3:6].reshape(-1)
+        expected = patch @ weight
+        assert np.allclose(out[0, :, 2, 3], expected)
+
+    def test_col2im_adjoint(self, rng):
+        # col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+        x = rng.standard_normal((1, 2, 6, 6))
+        cols, _, _ = im2col(x, 3, 1, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 1, 2, 2)), kernel=5, stride=1, padding=0)
+
+
+class TestConv2d:
+    def test_forward_shape(self, rng):
+        layer = Conv2d(3, 8, 3, rng=rng)
+        out = layer.forward(rng.standard_normal((2, 3, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_stride_and_padding(self, rng):
+        layer = Conv2d(3, 4, 4, stride=4, padding=0, rng=rng)
+        out = layer.forward(rng.standard_normal((1, 3, 16, 16)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_backward_input_gradient(self, rng):
+        layer = Conv2d(2, 3, 3, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5))
+        out = layer.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_in = layer.backward(grad_out)
+
+        def loss(x_):
+            return float((layer.forward(x_) * grad_out).sum())
+
+        numeric = numeric_gradient(loss, x.copy())
+        assert np.allclose(grad_in, numeric, atol=1e-4)
+
+    def test_input_matrix_is_im2col(self, rng):
+        layer = Conv2d(2, 3, 3, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5))
+        layer.forward(x)
+        assert layer.input_matrix().shape == (25, 18)
+
+    def test_project_input_matrix_gradient_shape(self, rng):
+        layer = Conv2d(2, 3, 3, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5))
+        layer.forward(x)
+        grad = layer.project_input_matrix_gradient(np.ones((25, 18)))
+        assert grad.shape == x.shape
+
+    def test_rejects_wrong_rank(self, rng):
+        layer = Conv2d(2, 3, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 5, 5)))
+
+
+class TestPooling:
+    def test_avg_pool_forward(self):
+        layer = AvgPool2d(2)
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_avg_pool_backward(self):
+        layer = AvgPool2d(2)
+        x = np.ones((1, 1, 4, 4))
+        layer.forward(x)
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        assert grad.shape == x.shape
+        assert np.allclose(grad, 0.25)
+
+    def test_max_pool_preserves_binary(self, rng):
+        layer = MaxPool2d(2)
+        x = (rng.random((2, 3, 8, 8)) < 0.3).astype(float)
+        out = layer.forward(x)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_max_pool_backward_routes_to_max(self):
+        layer = MaxPool2d(2)
+        x = np.array([[[[1.0, 0.0], [0.0, 0.0]]]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[[[5.0]]]]))
+        assert grad[0, 0, 0, 0] == pytest.approx(5.0)
+        assert grad[0, 0, 1, 1] == 0.0
+
+    def test_pool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            AvgPool2d(3).forward(np.zeros((1, 1, 4, 4)))
+        with pytest.raises(ValueError):
+            MaxPool2d(3).forward(np.zeros((1, 1, 4, 4)))
+
+
+class TestFlattenAndBatchNorm:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape
+
+    def test_batchnorm_normalises(self, rng):
+        layer = BatchNorm(4)
+        x = rng.standard_normal((32, 4)) * 3.0 + 2.0
+        out = layer.forward(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batchnorm_conv_shape(self, rng):
+        layer = BatchNorm(3)
+        x = rng.standard_normal((2, 3, 4, 4))
+        assert layer.forward(x).shape == x.shape
+
+    def test_batchnorm_eval_uses_running_stats(self, rng):
+        layer = BatchNorm(4)
+        for _ in range(20):
+            layer.forward(rng.standard_normal((16, 4)) + 5.0)
+        layer.training = False
+        out = layer.forward(np.full((2, 4), 5.0))
+        assert np.all(np.abs(out) < 2.0)
+
+    def test_batchnorm_backward_shape(self, rng):
+        layer = BatchNorm(4)
+        x = rng.standard_normal((8, 4))
+        layer.forward(x)
+        grad = layer.backward(np.ones((8, 4)))
+        assert grad.shape == x.shape
+
+
+class TestLIFLayer:
+    def test_binary_output_and_record(self, rng):
+        layer = LIFLayer()
+        out = layer.forward(rng.standard_normal((4, 8)) * 2)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+        assert layer.record.total_elements == 32
+
+    def test_backward_uses_surrogate(self, rng):
+        layer = LIFLayer()
+        layer.forward(rng.standard_normal((2, 4)))
+        grad = layer.backward(np.ones((2, 4)))
+        assert grad.shape == (2, 4)
+        assert np.all(grad >= 0)
+
+    def test_inject_gradient(self, rng):
+        layer = LIFLayer()
+        layer.forward(rng.standard_normal((2, 4)))
+        base = layer.backward(np.ones((2, 4)))
+        layer.forward(rng.standard_normal((2, 4)))
+        layer.inject_gradient(np.ones((2, 4)) * 10)
+        boosted = layer.backward(np.ones((2, 4)))
+        assert boosted.sum() != pytest.approx(base.sum())
+
+    def test_reset_record(self, rng):
+        layer = LIFLayer()
+        layer.forward(rng.standard_normal((2, 4)))
+        layer.reset_record()
+        assert layer.record.total_elements == 0
+        assert layer.record.firing_rate == 0.0

@@ -1,0 +1,118 @@
+"""Unit tests for the spiking neuron models."""
+
+import numpy as np
+import pytest
+
+from repro.snn.neurons import FewSpikesNeuron, IFNeuron, LIFNeuron
+
+
+class TestLIFNeuron:
+    def test_spikes_are_binary(self):
+        neuron = LIFNeuron()
+        spikes = neuron.run(np.random.default_rng(0).standard_normal((5, 10)))
+        assert set(np.unique(spikes)) <= {0.0, 1.0}
+
+    def test_fires_above_threshold(self):
+        neuron = LIFNeuron(threshold=1.0)
+        spikes = neuron.step(np.array([2.0, 0.1]))
+        assert spikes[0] == 1.0
+        assert spikes[1] == 0.0
+
+    def test_hard_reset_clears_membrane(self):
+        neuron = LIFNeuron(threshold=1.0, reset_mode="hard")
+        neuron.step(np.array([2.0]))
+        assert neuron.membrane[0] == 0.0
+
+    def test_soft_reset_subtracts_threshold(self):
+        neuron = LIFNeuron(threshold=1.0, reset_mode="soft")
+        neuron.step(np.array([2.5]))
+        assert neuron.membrane[0] == pytest.approx(1.5)
+
+    def test_leak_decays_membrane(self):
+        neuron = LIFNeuron(threshold=10.0, tau=2.0)
+        neuron.step(np.array([1.0]))
+        neuron.step(np.array([0.0]))
+        assert neuron.membrane[0] == pytest.approx(0.5)
+
+    def test_subthreshold_integration_fires_eventually(self):
+        neuron = LIFNeuron(threshold=1.0, tau=1e9)
+        outputs = [neuron.step(np.array([0.4]))[0] for _ in range(4)]
+        assert sum(outputs) >= 1.0
+
+    def test_reset_state(self):
+        neuron = LIFNeuron()
+        neuron.step(np.array([0.5]))
+        neuron.reset_state()
+        assert neuron.membrane is None
+
+    def test_surrogate_grad_requires_step(self):
+        neuron = LIFNeuron()
+        with pytest.raises(RuntimeError):
+            neuron.surrogate_grad()
+
+    def test_surrogate_grad_positive(self):
+        neuron = LIFNeuron()
+        neuron.step(np.array([0.9, -3.0]))
+        grad = neuron.surrogate_grad()
+        assert grad.shape == (2,)
+        assert np.all(grad >= 0)
+        assert grad[0] > grad[1]  # closer to threshold -> larger surrogate
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LIFNeuron(threshold=0.0)
+        with pytest.raises(ValueError):
+            LIFNeuron(tau=0.5)
+        with pytest.raises(ValueError):
+            LIFNeuron(reset_mode="bounce")
+
+    def test_run_shape(self):
+        neuron = LIFNeuron()
+        currents = np.ones((3, 4, 5))
+        spikes = neuron.run(currents)
+        assert spikes.shape == currents.shape
+
+
+class TestIFNeuron:
+    def test_no_leak(self):
+        neuron = IFNeuron(threshold=10.0)
+        assert neuron.leak == 1.0
+        neuron.step(np.array([1.0]))
+        neuron.step(np.array([0.0]))
+        assert neuron.membrane[0] == pytest.approx(1.0)
+
+    def test_integrates_to_spike(self):
+        neuron = IFNeuron(threshold=1.0)
+        outputs = [neuron.step(np.array([0.5]))[0] for _ in range(3)]
+        assert outputs[1] == 1.0  # 0.5 + 0.5 crosses threshold at step 2
+
+
+class TestFewSpikesNeuron:
+    def test_encode_is_binary(self):
+        neuron = FewSpikesNeuron(num_steps=4)
+        spikes = neuron.encode(np.array([0.3, 0.9, 0.0]))
+        assert spikes.shape == (4, 3)
+        assert set(np.unique(spikes)) <= {0.0, 1.0}
+
+    def test_decode_approximates_value(self):
+        neuron = FewSpikesNeuron(num_steps=8)
+        values = np.array([0.1, 0.45, 0.8])
+        decoded = neuron.decode(neuron.encode(values))
+        assert np.allclose(decoded, values, atol=0.05)
+
+    def test_sparse_coding(self):
+        # FS coding uses at most num_steps spikes per value, usually fewer.
+        neuron = FewSpikesNeuron(num_steps=4)
+        spikes = neuron.encode(np.array([0.5]))
+        assert spikes.sum() <= 4
+
+    def test_decode_shape_mismatch(self):
+        neuron = FewSpikesNeuron(num_steps=4)
+        with pytest.raises(ValueError):
+            neuron.decode(np.zeros((3, 2)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FewSpikesNeuron(num_steps=0)
+        with pytest.raises(ValueError):
+            FewSpikesNeuron(threshold=0.0)

@@ -1,0 +1,65 @@
+"""Unit tests for surrogate gradient functions."""
+
+import numpy as np
+import pytest
+
+from repro.snn.surrogate import (
+    ArctanSurrogate,
+    RectangularSurrogate,
+    SigmoidSurrogate,
+    TriangularSurrogate,
+    get_surrogate,
+    heaviside,
+)
+
+
+def test_heaviside():
+    assert np.array_equal(heaviside(np.array([-1.0, 0.0, 2.0])), [0.0, 1.0, 1.0])
+
+
+@pytest.mark.parametrize(
+    "surrogate",
+    [RectangularSurrogate(), SigmoidSurrogate(), ArctanSurrogate(), TriangularSurrogate()],
+)
+class TestSurrogateProperties:
+    def test_non_negative(self, surrogate):
+        x = np.linspace(-5, 5, 101)
+        assert np.all(surrogate(x) >= 0)
+
+    def test_peaks_at_zero(self, surrogate):
+        x = np.linspace(-5, 5, 101)
+        values = surrogate(x)
+        assert values[50] == pytest.approx(values.max())
+
+    def test_symmetric(self, surrogate):
+        x = np.linspace(-3, 3, 61)
+        values = surrogate(x)
+        assert np.allclose(values, values[::-1], atol=1e-9)
+
+    def test_decays_away_from_threshold(self, surrogate):
+        assert surrogate(np.array([5.0]))[0] <= surrogate(np.array([0.0]))[0]
+
+
+def test_sigmoid_matches_analytic_derivative():
+    surrogate = SigmoidSurrogate(alpha=4.0)
+    x = np.linspace(-2, 2, 41)
+    eps = 1e-6
+    sigmoid = lambda v: 1.0 / (1.0 + np.exp(-4.0 * v))
+    numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+    assert np.allclose(surrogate(x), numeric, atol=1e-5)
+
+
+def test_rectangular_width():
+    surrogate = RectangularSurrogate(width=2.0)
+    assert surrogate(np.array([0.9]))[0] == pytest.approx(0.5)
+    assert surrogate(np.array([1.1]))[0] == 0.0
+
+
+def test_registry_lookup():
+    assert isinstance(get_surrogate("sigmoid"), SigmoidSurrogate)
+    assert isinstance(get_surrogate("arctan", alpha=3.0), ArctanSurrogate)
+
+
+def test_registry_unknown():
+    with pytest.raises(ValueError):
+        get_surrogate("unknown")

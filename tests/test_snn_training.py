@@ -1,0 +1,119 @@
+"""Tests for the SGD trainer and PAFT fine-tuning loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import PhiCalibrator
+from repro.core.config import PhiConfig
+from repro.core.paft import PAFTConfig
+from repro.snn.layers import LIFLayer, Linear
+from repro.snn.network import SpikingNetwork
+from repro.snn.training import SGDTrainer, cross_entropy, iterate_minibatches, softmax
+
+
+@pytest.fixture
+def toy_task(rng):
+    """A linearly separable 2-class task with 16 features."""
+    num = 64
+    labels = rng.integers(0, 2, size=num)
+    centers = np.array([[0.2] * 16, [0.8] * 16])
+    data = centers[labels] + 0.1 * rng.standard_normal((num, 16))
+    return np.clip(data, 0, 1), labels
+
+
+@pytest.fixture
+def tiny_network(rng):
+    return SpikingNetwork(
+        [
+            Linear(16, 24, name="fc0", rng=rng),
+            LIFLayer(name="lif0"),
+            Linear(24, 2, name="fc1", rng=rng),
+        ],
+        num_steps=3,
+        name="tiny",
+    )
+
+
+class TestLossFunctions:
+    def test_softmax_sums_to_one(self, rng):
+        probs = softmax(rng.standard_normal((5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stability(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[10.0, -10.0]])
+        loss, grad = cross_entropy(logits, np.array([0]))
+        assert loss < 1e-3
+        assert grad.shape == (1, 2)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = np.array([[0.0, 0.0]])
+        _, grad = cross_entropy(logits, np.array([1]))
+        assert grad[0, 1] < 0 < grad[0, 0]
+
+    def test_minibatch_iteration_covers_data(self, rng):
+        data = np.arange(10)[:, None]
+        labels = np.arange(10)
+        seen = []
+        for batch, _ in iterate_minibatches(data, labels, 3, rng=rng):
+            seen.extend(batch[:, 0].tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_minibatch_length_mismatch(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((3, 1)), np.zeros(2), 2))
+
+
+class TestSGDTrainer:
+    def test_training_reduces_loss(self, tiny_network, toy_task):
+        data, labels = toy_task
+        trainer = SGDTrainer(tiny_network, learning_rate=0.1)
+        history = trainer.fit(data, labels, epochs=4, batch_size=16,
+                              eval_data=data, eval_labels=labels)
+        assert history.losses[-1] < history.losses[0]
+        assert history.final_accuracy >= 0.5
+
+    def test_training_beats_chance(self, tiny_network, toy_task):
+        data, labels = toy_task
+        trainer = SGDTrainer(tiny_network, learning_rate=0.1)
+        trainer.fit(data, labels, epochs=5, batch_size=16)
+        accuracy = trainer.evaluate(data, labels)
+        assert accuracy > 0.6
+
+    def test_invalid_hyperparameters(self, tiny_network):
+        with pytest.raises(ValueError):
+            SGDTrainer(tiny_network, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGDTrainer(tiny_network, momentum=1.0)
+
+    def test_paft_reduces_regularizer(self, tiny_network, toy_task):
+        data, labels = toy_task
+        trainer = SGDTrainer(tiny_network, learning_rate=0.05)
+        trainer.fit(data, labels, epochs=2, batch_size=16)
+
+        # Calibrate patterns from recorded activations of the trained net.
+        _, records = tiny_network.record_activations(data[:16])
+        calibrator = PhiCalibrator(PhiConfig(partition_size=8, num_patterns=8,
+                                             calibration_samples=1000))
+        layer_activations = {
+            name: rec.stacked().astype(np.uint8)
+            for name, rec in records.items()
+            if rec.is_binary and rec.matrices
+        }
+        calibration = calibrator.calibrate_model(layer_activations)
+        assert calibration.layer_names()  # at least one binary GEMM
+
+        trainer.enable_paft(calibration, PAFTConfig(lam=1e-3, learning_rate=1e-2, epochs=2))
+        assert trainer.paft_enabled
+        history = trainer.fit(data, labels, epochs=2, batch_size=16)
+        # The PAFT regulariser is tracked and non-negative.
+        assert all(r >= 0 for r in history.regularizers)
+        trainer.disable_paft()
+        assert not trainer.paft_enabled
+
+    def test_evaluate_on_empty_returns_zero(self, tiny_network):
+        trainer = SGDTrainer(tiny_network)
+        assert trainer.evaluate(np.zeros((0, 16)), np.zeros(0, dtype=int)) == 0.0
