@@ -27,6 +27,13 @@ def pytest_addoption(parser):
     )
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast benchmark subset run in CI (pytest benchmarks -m smoke)",
+    )
+
+
 @pytest.fixture(scope="session")
 def scale(request) -> ExperimentScale:
     """The experiment scale selected on the command line."""

@@ -1,6 +1,10 @@
 """Benchmark: Section 6.1 — preprocessing cost vs accumulation savings."""
 
+import pytest
+
 from conftest import run_once
+
+pytestmark = pytest.mark.smoke
 
 from repro.experiments import run_discussion
 

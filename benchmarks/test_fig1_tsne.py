@@ -1,6 +1,10 @@
 """Benchmark: Fig. 1 — activation distribution comparison (t-SNE)."""
 
+import pytest
+
 from conftest import run_once
+
+pytestmark = pytest.mark.smoke
 
 from repro.experiments import run_fig1
 

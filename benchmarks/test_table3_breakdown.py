@@ -1,6 +1,10 @@
 """Benchmark: Table 3 — Phi area and power breakdown."""
 
+import pytest
+
 from conftest import run_once
+
+pytestmark = pytest.mark.smoke
 
 from repro.experiments import run_table3
 

@@ -1,6 +1,10 @@
 """Benchmark: Table 4 — Phi sparsity breakdown across models and random data."""
 
+import pytest
+
 from conftest import run_once
+
+pytestmark = pytest.mark.smoke
 
 from repro.experiments import run_table4
 

@@ -7,20 +7,35 @@ workload and prints how the Level 1 / Level 2 densities, the online
 operation count and the PWP memory footprint respond.  The sweet spot of
 the sweep justifies the configuration used by the accelerator.
 
-Run with:  python examples/design_space_exploration.py
+Run with:  python examples/design_space_exploration.py [--jobs N]
+
+Both sweeps route through the :class:`repro.runner.SweepEngine`, so
+``--jobs`` fans the grid points out over worker processes and a second
+invocation is served from the on-disk result cache (also reachable as
+``python -m repro.runner fig7``).
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro.experiments import ExperimentScale, run_fig7_pattern_sweep, run_fig7_tile_sweep
+from repro.runner import ResultCache, SweepEngine
 
 SCALE = ExperimentScale(batch_size=4, num_steps=2, num_patterns=32, calibration_samples=3000)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", "-j", type=int, default=1, help="worker processes")
+    parser.add_argument("--no-cache", action="store_true", help="recompute everything")
+    args = parser.parse_args()
+    cache = None if args.no_cache else ResultCache()
+    engine = SweepEngine(cache=cache, jobs=args.jobs)
+
     print("=== Sweep 1: K partition (tile) size, q fixed ===")
     print(f"{'k':>4}{'element density':>18}{'vector density':>17}{'phi cycles':>13}")
-    tile_points = run_fig7_tile_sweep(SCALE, tile_sizes=(4, 8, 16, 32))
+    tile_points = run_fig7_tile_sweep(SCALE, tile_sizes=(4, 8, 16, 32), engine=engine)
     for point in tile_points:
         print(
             f"{point.k_tile:>4}"
@@ -34,7 +49,9 @@ def main() -> None:
 
     print("=== Sweep 2: number of patterns per partition, k = 16 ===")
     print(f"{'q':>6}{'phi cycles (norm.)':>21}{'PWP DRAM bytes':>17}")
-    pattern_points = run_fig7_pattern_sweep(SCALE, pattern_counts=(8, 16, 32, 64, 128))
+    pattern_points = run_fig7_pattern_sweep(
+        SCALE, pattern_counts=(8, 16, 32, 64, 128), engine=engine
+    )
     for point in pattern_points:
         print(
             f"{point.num_patterns:>6}"
@@ -44,6 +61,11 @@ def main() -> None:
     print("-> more patterns keep reducing online compute, but PWP memory "
           "traffic grows; the knee of the curve picks the configuration "
           "(the paper selects q = 128 at full scale).")
+    stats = engine.stats
+    print(
+        f"\n[engine] {stats.requested} points, {stats.cache_hits} cache hits, "
+        f"{stats.executed} simulated"
+    )
 
 
 if __name__ == "__main__":

@@ -1,4 +1,15 @@
-"""Setup shim for environments without PEP 660 editable-install support."""
+"""Setup entry point; all metadata lives in ``setup.cfg``.
+
+Install for development with::
+
+    pip install -e ".[test]"
+
+On minimal offline environments where pip's PEP 660 editable build is
+unavailable (setuptools < 70 without the ``wheel`` package), fall back
+to the legacy path, which needs nothing beyond setuptools::
+
+    python setup.py develop
+"""
 from setuptools import setup
 
 setup()

@@ -17,6 +17,8 @@ Reproduction of the ISCA 2025 paper.  The package is organised as:
   SpinalFlow, SATO, PTB and Stellar.
 * :mod:`repro.analysis` — t-SNE, clustering and memory-traffic analysis.
 * :mod:`repro.experiments` — one harness per paper table / figure.
+* :mod:`repro.runner` — the parallel sweep engine with its on-disk
+  content-addressed result cache (``python -m repro.runner``).
 
 Subpackages are imported lazily on attribute access to keep ``import
 repro`` fast.
@@ -35,6 +37,7 @@ _SUBPACKAGES = (
     "baselines",
     "analysis",
     "experiments",
+    "runner",
 )
 
 __all__ = list(_SUBPACKAGES) + ["__version__"]

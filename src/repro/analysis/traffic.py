@@ -14,6 +14,7 @@ Two comparisons are reported:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 from ..hw.simulator import SimulationResult
 
@@ -63,31 +64,60 @@ class WeightTraffic:
         return 1.0 - self.phi_with_prefetch / self.phi_without_prefetch
 
 
-def activation_traffic(result: SimulationResult) -> ActivationTraffic:
-    """Aggregate Fig. 12a activation-traffic comparison for one model."""
+def activation_traffic_from_layers(
+    layers: Iterable[Mapping[str, float]],
+) -> ActivationTraffic:
+    """Fig. 12a comparison from per-layer sweep-engine records."""
     dense = 0.0
     uncompressed = 0.0
     compressed = 0.0
-    for layer in result.layers:
-        dense += layer.m * layer.k / 8.0
-        uncompressed += layer.activation_bytes_uncompressed
-        compressed += layer.activation_bytes
+    for layer in layers:
+        dense += layer["m"] * layer["k"] / 8.0
+        uncompressed += layer["activation_bytes_uncompressed"]
+        compressed += layer["activation_bytes"]
     return ActivationTraffic(
         dense=dense, phi_uncompressed=uncompressed, phi_compressed=compressed
     )
 
 
-def weight_traffic(result: SimulationResult) -> WeightTraffic:
-    """Aggregate Fig. 12b weight-traffic comparison for one model."""
+def weight_traffic_from_layers(
+    layers: Iterable[Mapping[str, float]],
+) -> WeightTraffic:
+    """Fig. 12b comparison from per-layer sweep-engine records."""
     dense = 0.0
     without_prefetch = 0.0
     with_prefetch = 0.0
-    for layer in result.layers:
-        dense += layer.weight_bytes
-        without_prefetch += layer.weight_bytes + layer.pwp_bytes_unfiltered
-        with_prefetch += layer.weight_bytes + layer.pwp_bytes_prefetched
+    for layer in layers:
+        dense += layer["weight_bytes"]
+        without_prefetch += layer["weight_bytes"] + layer["pwp_bytes_unfiltered"]
+        with_prefetch += layer["weight_bytes"] + layer["pwp_bytes_prefetched"]
     return WeightTraffic(
         dense=dense,
         phi_without_prefetch=without_prefetch,
         phi_with_prefetch=with_prefetch,
     )
+
+
+def _layer_records(result: SimulationResult) -> list[dict]:
+    return [
+        {
+            "m": layer.m,
+            "k": layer.k,
+            "activation_bytes": layer.activation_bytes,
+            "activation_bytes_uncompressed": layer.activation_bytes_uncompressed,
+            "weight_bytes": layer.weight_bytes,
+            "pwp_bytes_prefetched": layer.pwp_bytes_prefetched,
+            "pwp_bytes_unfiltered": layer.pwp_bytes_unfiltered,
+        }
+        for layer in result.layers
+    ]
+
+
+def activation_traffic(result: SimulationResult) -> ActivationTraffic:
+    """Aggregate Fig. 12a activation-traffic comparison for one model."""
+    return activation_traffic_from_layers(_layer_records(result))
+
+
+def weight_traffic(result: SimulationResult) -> WeightTraffic:
+    """Aggregate Fig. 12b weight-traffic comparison for one model."""
+    return weight_traffic_from_layers(_layer_records(result))

@@ -72,13 +72,16 @@ def hamming_distance_matrix(rows: np.ndarray, centers: np.ndarray) -> np.ndarray
         )
     # For binary data, Hamming distance decomposes into a dot-product form:
     # H(x, c) = sum(x) + sum(c) - 2 * x.c  which avoids materialising the
-    # (n, q, k) broadcast tensor for large calibration sets.
-    rows_f = rows.astype(np.int64)
-    centers_f = centers.astype(np.int64)
+    # (n, q, k) broadcast tensor for large calibration sets.  The GEMM runs
+    # in float64 so it dispatches to BLAS; every intermediate is a small
+    # integer (bounded by the partition width), hence exactly representable
+    # and the int64 conversion is lossless.
+    rows_f = rows.astype(np.float64)
+    centers_f = centers.astype(np.float64)
     cross = rows_f @ centers_f.T
     row_pop = rows_f.sum(axis=1, keepdims=True)
     center_pop = centers_f.sum(axis=1, keepdims=True).T
-    return row_pop + center_pop - 2 * cross
+    return (row_pop + center_pop - 2 * cross).astype(np.int64)
 
 
 def filter_calibration_rows(
@@ -164,19 +167,24 @@ def binary_kmeans(
         changed = int(np.count_nonzero(new_assignments != assignments))
         assignments = new_assignments
 
-        # Update each centre as the rounded mean of its members.
+        # Update each centre as the rounded mean of its members, in one
+        # pass: per-cluster bit sums via a scatter-add, then the exact
+        # integer form of the >= 0.5 rounding (2 * sum >= count).
         new_centers = centers.copy()
-        for cluster in range(num_clusters):
-            members = rows[assignments == cluster]
-            if members.shape[0] == 0:
-                if config.empty_cluster_strategy == "reseed":
-                    # Reseed with the row farthest from its current centre.
-                    row_dist = distances[np.arange(n_rows), assignments]
-                    farthest = int(row_dist.argmax())
-                    new_centers[cluster] = rows[farthest]
-                continue
-            mean = members.mean(axis=0)
-            new_centers[cluster] = (mean >= 0.5).astype(np.uint8)
+        counts = np.bincount(assignments, minlength=num_clusters)
+        sums = np.zeros((num_clusters, rows.shape[1]), dtype=np.int64)
+        np.add.at(sums, assignments, rows.astype(np.int64))
+        occupied = counts > 0
+        new_centers[occupied] = (
+            2 * sums[occupied] >= counts[occupied, None]
+        ).astype(np.uint8)
+        empty = np.flatnonzero(~occupied)
+        if empty.size and config.empty_cluster_strategy == "reseed":
+            # Reseed with the row farthest from its current centre (all
+            # empty clusters receive the same farthest row, as before).
+            row_dist = distances[np.arange(n_rows), assignments]
+            farthest = int(row_dist.argmax())
+            new_centers[empty] = rows[farthest]
 
         converged = np.array_equal(new_centers, centers) and changed == 0
         centers = new_centers

@@ -182,9 +182,17 @@ class PatternSet:
                 f"rows width {rows.shape[1]} does not match pattern width "
                 f"{self.width}"
             )
-        # XOR via broadcasting: (m, 1, k) vs (1, q, k).
-        mismatches = rows[:, None, :] != self._matrix[None, :, :]
-        return mismatches.sum(axis=2).astype(np.int64)
+        # For binary vectors the Hamming distance has an exact dot-product
+        # form, H(x, p) = |x| + |p| - 2 x.p, which runs as one BLAS GEMM
+        # instead of materialising the (m, q, k) broadcast tensor.  All
+        # intermediates are small integers (bounded by the pattern width),
+        # exactly representable in float64, so the result is exact.
+        rows_f = rows.astype(np.float64)
+        patterns_f = self._matrix.astype(np.float64)
+        overlap = rows_f @ patterns_f.T
+        row_pop = rows_f.sum(axis=1, keepdims=True)
+        pattern_pop = patterns_f.sum(axis=1, keepdims=True).T
+        return (row_pop + pattern_pop - 2 * overlap).astype(np.int64)
 
     def memory_bits(self) -> int:
         """Storage cost of the pattern set itself in bits."""

@@ -57,6 +57,22 @@ class TileDecomposition:
         """Partition width k."""
         return int(self.original.shape[1])
 
+    def row_slice(self, start: int, stop: int) -> "TileDecomposition":
+        """The decomposition restricted to rows ``[start, stop)``.
+
+        Rows are decomposed independently (the best pattern of a row does
+        not depend on other rows), so slicing an existing decomposition is
+        exactly equivalent to decomposing the row slice from scratch.  The
+        simulator uses this to hand per-M-tile views of the layer-level
+        decomposition to the preprocessor instead of re-matching.
+        """
+        return TileDecomposition(
+            pattern_indices=self.pattern_indices[start:stop],
+            level2=self.level2[start:stop],
+            patterns=self.patterns,
+            original=self.original[start:stop],
+        )
+
     def level1_matrix(self) -> np.ndarray:
         """Materialise the Level 1 matrix (each row a pattern or zeros)."""
         out = np.zeros_like(self.original, dtype=np.int8)

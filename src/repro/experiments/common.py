@@ -5,17 +5,24 @@ code runs as a quick smoke test (``TINY``), as the default benchmark
 (``SMALL``) or at a larger setting closer to the paper's configuration
 (``PAPER``).  Note that even ``PAPER`` uses the scaled-down model zoo; see
 DESIGN.md for the substitution rationale.
+
+Workloads, calibrations and simulation results are shared through the
+:mod:`repro.runner` layer: workload generation is memoised in-process,
+calibrations are memoised per ``(workload, PhiConfig)`` pair, and sweeps
+routed through a :class:`~repro.runner.SweepEngine` additionally reuse
+results across processes and runs via the on-disk cache (DESIGN.md
+describes the architecture).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
-from ..core.calibration import ModelCalibration, PhiCalibrator
+from ..core.calibration import ModelCalibration
 from ..core.config import PhiConfig
 from ..hw.config import ArchConfig
-from ..workloads.generator import generate_workload
+from ..runner.engine import WorkloadSpec, calibration_for
+from ..workloads.generator import cached_workload
 from ..workloads.workload import ModelWorkload
 
 
@@ -64,6 +71,15 @@ class ExperimentScale:
         params.update(overrides)
         return ArchConfig(**params)
 
+    def workload_spec(self, model_name: str, dataset_name: str) -> WorkloadSpec:
+        """The sweep-engine workload spec for a model/dataset at this scale."""
+        return WorkloadSpec(
+            model=model_name,
+            dataset=dataset_name,
+            batch_size=self.batch_size,
+            num_steps=self.num_steps,
+        )
+
 
 #: Minimal scale for unit tests and CI smoke runs.
 TINY = ExperimentScale(
@@ -75,7 +91,6 @@ SMALL = ExperimentScale()
 PAPER = ExperimentScale(batch_size=8, num_steps=4, num_patterns=128)
 
 
-@lru_cache(maxsize=64)
 def workload_for(
     model_name: str,
     dataset_name: str,
@@ -85,14 +100,19 @@ def workload_for(
     split: str = "test",
     seed: int = 0,
 ) -> ModelWorkload:
-    """Cached workload generation (treat the result as read-only)."""
-    return generate_workload(
+    """Cached workload generation (treat the result as read-only).
+
+    Delegates to the generator-level memo the sweep engine uses too, so
+    experiments and engine workers in the same process share one workload
+    instance (and therefore one calibration memo) per spec.
+    """
+    return cached_workload(
         model_name,
         dataset_name,
         batch_size=batch_size,
         num_steps=num_steps,
-        split=split,
         seed=seed,
+        split=split,
     )
 
 
@@ -109,9 +129,13 @@ def get_workload(model_name: str, dataset_name: str, scale: ExperimentScale) -> 
 def calibrate_workload(
     workload: ModelWorkload, scale: ExperimentScale
 ) -> ModelCalibration:
-    """Calibrate patterns for every layer of a workload."""
-    calibrator = PhiCalibrator(scale.phi_config())
-    return calibrator.calibrate_model(workload.activation_matrices())
+    """Calibrate patterns for every layer of a workload.
+
+    Memoised per ``(workload instance, PhiConfig)`` — repeated sweeps at
+    the same scale reuse one calibration instead of recomputing it per
+    experiment point.
+    """
+    return calibration_for(workload, scale.phi_config())
 
 
 def format_table(rows: list[dict], columns: list[str] | None = None) -> str:

@@ -7,12 +7,12 @@ from dataclasses import dataclass, field
 from ..analysis.traffic import (
     ActivationTraffic,
     WeightTraffic,
-    activation_traffic,
-    weight_traffic,
+    activation_traffic_from_layers,
+    weight_traffic_from_layers,
 )
 from ..core.metrics import geometric_mean
-from ..hw.simulator import PhiSimulator
-from .common import SMALL, ExperimentScale, format_table, get_workload
+from ..runner.engine import SweepEngine, SweepPoint, default_engine
+from .common import SMALL, ExperimentScale, format_table
 
 #: Model/dataset pairs of Fig. 12 (one per model family).
 FIG12_WORKLOADS: tuple[tuple[str, str], ...] = (
@@ -73,19 +73,35 @@ def run_fig12(
     scale: ExperimentScale = SMALL,
     *,
     workloads: tuple[tuple[str, str], ...] = FIG12_WORKLOADS,
+    engine: SweepEngine | None = None,
 ) -> Fig12Result:
-    """Reproduce the Fig. 12 memory-traffic comparison."""
+    """Reproduce the Fig. 12 memory-traffic comparison.
+
+    One sweep point per workload, submitted as a single engine batch so
+    ``--jobs`` parallelises across workloads and repeat runs come from the
+    result cache.
+    """
+    engine = engine or default_engine()
+    arch = scale.arch_config()
+    phi = scale.phi_config()
+    points = [
+        SweepPoint(
+            workload=scale.workload_spec(model_name, dataset_name),
+            arch=arch,
+            phi=phi,
+            label=f"fig12:{model_name}/{dataset_name}",
+        )
+        for model_name, dataset_name in workloads
+    ]
+    records = engine.run(points)
     result = Fig12Result()
-    simulator = PhiSimulator(scale.arch_config(), scale.phi_config())
-    for model_name, dataset_name in workloads:
-        workload = get_workload(model_name, dataset_name, scale)
-        sim_result = simulator.run(workload)
+    for (model_name, dataset_name), record in zip(workloads, records):
         result.rows.append(
             TrafficRow(
                 model=model_name,
                 dataset=dataset_name,
-                activation=activation_traffic(sim_result),
-                weight=weight_traffic(sim_result),
+                activation=activation_traffic_from_layers(record["layers"]),
+                weight=weight_traffic_from_layers(record["layers"]),
             )
         )
     return result

@@ -10,20 +10,21 @@ Four sweeps justify the architecture configuration:
   patterns per partition.
 * **Fig. 7d** — DRAM power, buffer power and buffer area versus the total
   on-chip buffer size.
+
+All three sweeps are expressed as :class:`~repro.runner.SweepPoint` grids
+and executed through a :class:`~repro.runner.SweepEngine`, so they run in
+parallel with ``--jobs`` and reuse cached results across invocations
+(``python -m repro.runner fig7``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.calibration import PhiCalibrator
-from ..core.config import PhiConfig
-from ..core.metrics import aggregate_operation_counts, operation_counts, sparsity_breakdown
-from ..hw.config import ArchConfig, BufferSizes
+from ..hw.config import BufferSizes
 from ..hw.energy import DRAM_ENERGY_PER_BYTE_PJ, PhiEnergyModel
-from ..hw.simulator import PhiSimulator
-from ..workloads.workload import ModelWorkload
-from .common import SMALL, ExperimentScale, format_table, get_workload
+from ..runner.engine import DECOMPOSITION, SweepEngine, SweepPoint, default_engine
+from .common import SMALL, ExperimentScale, format_table
 
 
 @dataclass(frozen=True)
@@ -84,40 +85,26 @@ class Fig7Result:
         return "\n".join(parts)
 
 
-def _phi_relative_cycles(workload: ModelWorkload, config: PhiConfig) -> tuple[float, float, float, float, float, float]:
-    """Densities and normalised theoretical cycle counts for one config."""
-    calibrator = PhiCalibrator(config)
-    breakdown_pairs = []
-    counts = []
-    for layer in workload:
-        calibration = calibrator.calibrate_layer(layer.name, layer.activations)
-        decomposition = calibration.decompose(layer.activations)
-        breakdown_pairs.append(
-            (sparsity_breakdown(decomposition), layer.activations.size)
-        )
-        counts.append(operation_counts(decomposition))
-    totals = aggregate_operation_counts(counts)
-    from ..core.metrics import aggregate_breakdowns
-
-    breakdown = aggregate_breakdowns(breakdown_pairs)
-    bit_ops = totals.bit_sparse_ops
-    phi_ops = totals.phi_ops
+def _tile_point(k_tile: int, partition_size: int, record: dict) -> TileSizePoint:
+    """Fig. 7a/b metrics from one decomposition record."""
+    breakdown = record["breakdown"]
+    counts = record["operation_counts"]
+    bit_ops = counts["bit_sparse_ops"]
+    phi_ops = counts["phi_level1_ops"] + counts["phi_level2_ops"]
     # "Optimal" cycles: only the Level 2 corrections of a hypothetical
     # perfect pattern assignment, approximated by the best achievable
     # element count (one correction per mismatching bit with an oracle
     # pattern per row); the paper uses the converged large-q limit.
-    optimal_ops = totals.phi_level2_ops + totals.phi_level1_ops // 2
-    bit = 1.0
-    phi = phi_ops / bit_ops if bit_ops else 0.0
-    optimal = optimal_ops / bit_ops if bit_ops else 0.0
-    return (
-        breakdown.level2_density,
-        breakdown.level1_vector_density / max(config.partition_size, 1),
-        breakdown.level2_density
-        + breakdown.level1_vector_density / max(config.partition_size, 1),
-        bit,
-        phi,
-        optimal,
+    optimal_ops = counts["phi_level2_ops"] + counts["phi_level1_ops"] // 2
+    vector = breakdown["level1_vector_density"] / max(partition_size, 1)
+    return TileSizePoint(
+        k_tile=k_tile,
+        element_density=breakdown["level2_density"],
+        vector_density=vector,
+        total_density=breakdown["level2_density"] + vector,
+        bit_cycles=1.0,
+        phi_cycles=phi_ops / bit_ops if bit_ops else 0.0,
+        optimal_cycles=optimal_ops / bit_ops if bit_ops else 0.0,
     )
 
 
@@ -127,27 +114,31 @@ def run_fig7_tile_sweep(
     model_name: str = "vgg16",
     dataset_name: str = "cifar100",
     tile_sizes: tuple[int, ...] = (4, 8, 16, 32, 64),
+    engine: SweepEngine | None = None,
 ) -> list[TileSizePoint]:
     """Fig. 7a/b: sweep the K partition size."""
-    workload = get_workload(model_name, dataset_name, scale)
-    points = []
+    engine = engine or default_engine()
+    spec = scale.workload_spec(model_name, dataset_name)
+    configs = []
     for k in tile_sizes:
         # Narrow partitions cannot host more than 2**k distinct patterns.
         patterns = min(scale.num_patterns, 2 ** min(k, 16))
-        config = scale.phi_config(partition_size=k, num_patterns=patterns)
-        element, vector, total, bit, phi, optimal = _phi_relative_cycles(workload, config)
-        points.append(
-            TileSizePoint(
-                k_tile=k,
-                element_density=element,
-                vector_density=vector,
-                total_density=total,
-                bit_cycles=bit,
-                phi_cycles=phi,
-                optimal_cycles=optimal,
-            )
+        configs.append(scale.phi_config(partition_size=k, num_patterns=patterns))
+    points = [
+        SweepPoint(
+            workload=spec,
+            arch=scale.arch_config(),
+            phi=config,
+            accelerator=DECOMPOSITION,
+            label=f"fig7ab:{spec.key}:k={k}",
         )
-    return points
+        for k, config in zip(tile_sizes, configs)
+    ]
+    records = engine.run(points)
+    return [
+        _tile_point(k, config.partition_size, record)
+        for k, config, record in zip(tile_sizes, configs, records)
+    ]
 
 
 def run_fig7_pattern_sweep(
@@ -156,28 +147,39 @@ def run_fig7_pattern_sweep(
     model_name: str = "vgg16",
     dataset_name: str = "cifar100",
     pattern_counts: tuple[int, ...] = (8, 16, 32, 64, 128, 256),
+    engine: SweepEngine | None = None,
 ) -> list[PatternCountPoint]:
     """Fig. 7c: sweep the number of patterns per partition."""
-    workload = get_workload(model_name, dataset_name, scale)
-    points = []
-    for q in pattern_counts:
-        config = scale.phi_config(num_patterns=q)
-        simulator = PhiSimulator(scale.arch_config(num_patterns=q), config)
-        result = simulator.run(workload)
-        totals = result.aggregate_operations()
-        bit_ops = totals.bit_sparse_ops
-        points.append(
+    engine = engine or default_engine()
+    spec = scale.workload_spec(model_name, dataset_name)
+    points = [
+        SweepPoint(
+            workload=spec,
+            arch=scale.arch_config(num_patterns=q),
+            phi=scale.phi_config(num_patterns=q),
+            label=f"fig7c:{spec.key}:q={q}",
+        )
+        for q in pattern_counts
+    ]
+    records = engine.run(points)
+    results = []
+    for q, record in zip(pattern_counts, records):
+        counts = record["operation_counts"]
+        bit_ops = counts["bit_sparse_ops"]
+        phi_ops = counts["phi_level1_ops"] + counts["phi_level2_ops"]
+        pwp_bytes = sum(layer["pwp_bytes_prefetched"] for layer in record["layers"])
+        results.append(
             PatternCountPoint(
                 num_patterns=q,
-                phi_cycles=totals.phi_ops / bit_ops if bit_ops else 0.0,
+                phi_cycles=phi_ops / bit_ops if bit_ops else 0.0,
                 bit_cycles=1.0,
                 optimal_cycles=(
-                    totals.phi_level2_ops / bit_ops if bit_ops else 0.0
+                    counts["phi_level2_ops"] / bit_ops if bit_ops else 0.0
                 ),
-                pwp_memory_bytes=sum(l.pwp_bytes_prefetched for l in result.layers),
+                pwp_memory_bytes=pwp_bytes,
             )
         )
-    return points
+    return results
 
 
 def run_fig7_buffer_sweep(
@@ -186,34 +188,53 @@ def run_fig7_buffer_sweep(
     model_name: str = "vgg16",
     dataset_name: str = "cifar100",
     buffer_scales: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 3.0),
+    engine: SweepEngine | None = None,
 ) -> list[BufferSizePoint]:
     """Fig. 7d: sweep the total on-chip buffer capacity."""
-    workload = get_workload(model_name, dataset_name, scale)
+    engine = engine or default_engine()
+    spec = scale.workload_spec(model_name, dataset_name)
     base_sizes = BufferSizes()
-    points = []
-    for factor in buffer_scales:
-        sizes = base_sizes.scaled(factor)
-        arch = scale.arch_config(buffers=sizes)
+    archs = [
+        scale.arch_config(buffers=base_sizes.scaled(factor))
+        for factor in buffer_scales
+    ]
+    points = [
+        SweepPoint(
+            workload=spec,
+            arch=arch,
+            phi=scale.phi_config(),
+            buffer_scale=factor,
+            label=f"fig7d:{spec.key}:x{factor}",
+        )
+        for factor, arch in zip(buffer_scales, archs)
+    ]
+    records = engine.run(points)
+    results = []
+    for factor, arch, record in zip(buffer_scales, archs, records):
         energy_model = PhiEnergyModel(arch, buffer_scale=factor)
-        simulator = PhiSimulator(arch, scale.phi_config(), energy_model=energy_model)
-        result = simulator.run(workload)
-        dram_energy = result.total_dram_bytes * DRAM_ENERGY_PER_BYTE_PJ * 1e-12
-        dram_power = dram_energy / max(result.runtime_seconds, 1e-12)
-        points.append(
+        dram_energy = record["total_dram_bytes"] * DRAM_ENERGY_PER_BYTE_PJ * 1e-12
+        dram_power = dram_energy / max(record["runtime_seconds"], 1e-12)
+        results.append(
             BufferSizePoint(
-                buffer_kb=sizes.total / 1024.0,
+                buffer_kb=arch.buffers.total / 1024.0,
                 dram_power=dram_power,
                 buffer_power=energy_model.power_report()["buffer"],
                 buffer_area=energy_model.area_report().components["buffer"],
             )
         )
-    return points
+    return results
 
 
-def run_fig7(scale: ExperimentScale = SMALL, **kwargs) -> Fig7Result:
+def run_fig7(
+    scale: ExperimentScale = SMALL,
+    *,
+    engine: SweepEngine | None = None,
+    **kwargs,
+) -> Fig7Result:
     """Run all three design-space sweeps."""
+    engine = engine or default_engine()
     return Fig7Result(
-        tile_sweep=run_fig7_tile_sweep(scale, **kwargs),
-        pattern_sweep=run_fig7_pattern_sweep(scale, **kwargs),
-        buffer_sweep=run_fig7_buffer_sweep(scale, **kwargs),
+        tile_sweep=run_fig7_tile_sweep(scale, engine=engine, **kwargs),
+        pattern_sweep=run_fig7_pattern_sweep(scale, engine=engine, **kwargs),
+        buffer_sweep=run_fig7_buffer_sweep(scale, engine=engine, **kwargs),
     )

@@ -5,25 +5,26 @@ baseline accelerators, Phi without PAFT and Phi with PAFT, and reports
 speedup (normalised to Spiking Eyeriss) and energy (normalised to Phi
 without PAFT), plus the geometric means across workloads — the same
 normalisations the paper's Fig. 8 uses.
+
+Every (accelerator, workload) pair is one :class:`~repro.runner.SweepPoint`;
+the whole figure is a single :class:`~repro.runner.SweepEngine` batch, so
+``python -m repro.runner fig8 --jobs N`` simulates the grid N-wide and a
+re-run with a warm cache costs only the normalisation arithmetic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-import numpy as np
-
-from ..baselines.registry import BASELINE_ORDER, PhiAccelerator, get_baseline
+from ..baselines.registry import BASELINE_ORDER
 from ..core.metrics import geometric_mean
-from ..core.paft import ActivationAligner
-from ..workloads.workload import LayerWorkload, ModelWorkload
-from .common import (
-    SMALL,
-    ExperimentScale,
-    calibrate_workload,
-    format_table,
-    get_workload,
+from ..runner.engine import (
+    SweepEngine,
+    SweepPoint,
+    aligned_workload,
+    default_engine,
 )
+from .common import SMALL, ExperimentScale, format_table
 
 #: Default Fig. 8 workload list (subset of the paper's 12 pairs chosen to
 #: cover every model family; pass ``workloads=`` to run more).
@@ -112,36 +113,92 @@ class Fig8Result:
 
 
 def apply_paft_to_workload(
-    workload: ModelWorkload,
+    workload,
     scale: ExperimentScale,
     *,
     alignment_strength: float = 0.5,
     seed: int = 0,
-) -> ModelWorkload:
+):
     """Produce the post-PAFT version of a workload.
 
     Pattern-aware fine-tuning pushes activations towards their assigned
     patterns; the aligner applies that statistical effect directly to the
-    recorded spike matrices (see :class:`repro.core.paft.ActivationAligner`).
+    recorded spike matrices (see :class:`repro.core.paft.ActivationAligner`
+    and :func:`repro.runner.aligned_workload`, which this wraps).
     """
-    calibration = calibrate_workload(workload, scale)
-    aligner = ActivationAligner(alignment_strength=alignment_strength, seed=seed)
-    aligned = ModelWorkload(
-        model_name=workload.model_name, dataset_name=workload.dataset_name
+    return aligned_workload(
+        workload, scale.phi_config(), strength=alignment_strength, seed=seed
     )
-    for layer in workload:
-        if layer.name in calibration:
-            activations = aligner.align_layer(layer.activations, calibration[layer.name])
-        else:
-            activations = layer.activations
-        aligned.add(
-            LayerWorkload(
-                name=layer.name,
-                activations=activations,
-                weights=layer.weights,
-            )
+
+
+def _workload_points(
+    model_name: str,
+    dataset_name: str,
+    scale: ExperimentScale,
+    paft_strength: float,
+) -> list[tuple[str, SweepPoint]]:
+    """The (accelerator name, sweep point) grid of one Fig. 8 column."""
+    spec = scale.workload_spec(model_name, dataset_name)
+    arch = scale.arch_config()
+    phi = scale.phi_config()
+    points = [
+        (
+            name,
+            SweepPoint(
+                workload=spec,
+                arch=arch,
+                accelerator=name,
+                label=f"fig8:{spec.key}:{name}",
+            ),
         )
-    return aligned
+        for name in BASELINE_ORDER
+    ]
+    points.append(
+        (
+            "phi",
+            SweepPoint(
+                workload=spec, arch=arch, phi=phi, label=f"fig8:{spec.key}:phi"
+            ),
+        )
+    )
+    paft_spec = replace(spec, paft_strength=paft_strength)
+    points.append(
+        (
+            "phi_paft",
+            SweepPoint(
+                workload=paft_spec,
+                arch=arch,
+                phi=phi,
+                label=f"fig8:{spec.key}:phi_paft",
+            ),
+        )
+    )
+    return points
+
+
+def _comparison_from_records(
+    model_name: str,
+    dataset_name: str,
+    named_records: dict[str, dict],
+) -> WorkloadComparison:
+    """Normalise one workload's records into a Fig. 8 comparison."""
+    comparison = WorkloadComparison(model=model_name, dataset=dataset_name)
+    eyeriss_throughput = named_records["eyeriss"]["throughput_gops"]
+    phi_energy = named_records["phi"]["energy_joules"]
+    # The PAFT run executes fewer real operations, but speedup/energy are
+    # normalised against the same nominal OP count as the original model.
+    nominal_ops = named_records["phi"]["total_operations"]
+    for name, record in named_records.items():
+        if name == "phi_paft":
+            runtime = record["runtime_seconds"]
+            throughput = nominal_ops / runtime / 1e9 if runtime else 0.0
+        else:
+            throughput = record["throughput_gops"]
+        comparison.throughput_gops[name] = throughput
+        comparison.speedup[name] = throughput / eyeriss_throughput
+        comparison.energy_joules[name] = record["energy_joules"]
+        comparison.energy[name] = record["energy_joules"] / phi_energy
+    return comparison
 
 
 def compare_workload(
@@ -150,37 +207,14 @@ def compare_workload(
     scale: ExperimentScale = SMALL,
     *,
     paft_strength: float = 0.5,
+    engine: SweepEngine | None = None,
 ) -> WorkloadComparison:
     """Run all accelerators on one workload and normalise the results."""
-    workload = get_workload(model_name, dataset_name, scale)
-    comparison = WorkloadComparison(model=model_name, dataset=dataset_name)
-
-    reports = {}
-    for name in BASELINE_ORDER:
-        reports[name] = get_baseline(name, scale.arch_config()).simulate(workload)
-
-    phi = PhiAccelerator(scale.arch_config(), scale.phi_config())
-    reports["phi"] = phi.simulate(workload)
-    paft_workload = apply_paft_to_workload(workload, scale, alignment_strength=paft_strength)
-    paft_report = phi.simulate(paft_workload)
-    # The PAFT run executes fewer real operations, but speedup/energy are
-    # normalised against the same nominal OP count as the original model.
-    reports["phi_paft"] = paft_report
-
-    eyeriss_throughput = reports["eyeriss"].throughput_gops
-    phi_energy = reports["phi"].energy_joules
-    nominal_ops = reports["phi"].total_operations
-    for name, report in reports.items():
-        if name == "phi_paft":
-            runtime = report.runtime_seconds
-            throughput = nominal_ops / runtime / 1e9 if runtime else 0.0
-        else:
-            throughput = report.throughput_gops
-        comparison.throughput_gops[name] = throughput
-        comparison.speedup[name] = throughput / eyeriss_throughput
-        comparison.energy_joules[name] = report.energy_joules
-        comparison.energy[name] = report.energy_joules / phi_energy
-    return comparison
+    engine = engine or default_engine()
+    named_points = _workload_points(model_name, dataset_name, scale, paft_strength)
+    records = engine.run([point for _, point in named_points])
+    named_records = {name: record for (name, _), record in zip(named_points, records)}
+    return _comparison_from_records(model_name, dataset_name, named_records)
 
 
 def run_fig8(
@@ -188,13 +222,25 @@ def run_fig8(
     *,
     workloads: tuple[tuple[str, str], ...] = DEFAULT_WORKLOADS,
     paft_strength: float = 0.5,
+    engine: SweepEngine | None = None,
 ) -> Fig8Result:
-    """Reproduce Fig. 8 across the selected workloads."""
+    """Reproduce Fig. 8 across the selected workloads.
+
+    The entire (workload x accelerator) grid is submitted to the engine as
+    one batch so every point can run in parallel.
+    """
+    engine = engine or default_engine()
+    grids = [
+        _workload_points(model_name, dataset_name, scale, paft_strength)
+        for model_name, dataset_name in workloads
+    ]
+    flat_points = [point for grid in grids for _, point in grid]
+    records = iter(engine.run(flat_points))
+
     result = Fig8Result()
-    for model_name, dataset_name in workloads:
+    for (model_name, dataset_name), grid in zip(workloads, grids):
+        named_records = {name: next(records) for name, _ in grid}
         result.comparisons.append(
-            compare_workload(
-                model_name, dataset_name, scale, paft_strength=paft_strength
-            )
+            _comparison_from_records(model_name, dataset_name, named_records)
         )
     return result

@@ -9,7 +9,7 @@ trees in both the L1 and the L2 processor, 240 KB of on-chip buffers and a
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,21 @@ class BufferSizes:
             pattern_index=int(self.pattern_index * factor),
             partial_sum=int(self.partial_sum * factor),
         )
+
+    def to_dict(self) -> dict:
+        """Serialise the buffer capacities to plain Python types."""
+        return {
+            "pack": self.pack,
+            "weight": self.weight,
+            "pwp": self.pwp,
+            "pattern_index": self.pattern_index,
+            "partial_sum": self.partial_sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BufferSizes":
+        """Reconstruct buffer capacities from :meth:`to_dict` output."""
+        return cls(**{key: int(value) for key, value in data.items()})
 
 
 @dataclass(frozen=True)
@@ -114,6 +129,39 @@ class ArchConfig:
     def with_overrides(self, **kwargs: Any) -> "ArchConfig":
         """Copy of the configuration with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Serialise the configuration to plain Python types.
+
+        The sweep engine hashes this dictionary to build cache keys, so it
+        must cover every field that can influence a simulation result.
+        """
+        return {
+            "tile_m": self.tile_m,
+            "tile_k": self.tile_k,
+            "tile_n": self.tile_n,
+            "num_channels": self.num_channels,
+            "simd_width": self.simd_width,
+            "pack_size": self.pack_size,
+            "packer_windows": self.packer_windows,
+            "num_patterns": self.num_patterns,
+            "frequency_mhz": self.frequency_mhz,
+            "technology_nm": self.technology_nm,
+            "buffers": self.buffers.to_dict(),
+            "dram_bandwidth_gbps": self.dram_bandwidth_gbps,
+            "weight_bytes": self.weight_bytes,
+            "psum_bytes": self.psum_bytes,
+            "pwp_bytes": self.pwp_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArchConfig":
+        """Reconstruct a configuration from :meth:`to_dict` output."""
+        params = dict(data)
+        buffers = params.pop("buffers", None)
+        if buffers is not None:
+            params["buffers"] = BufferSizes.from_dict(buffers)
+        return cls(**params)
 
 
 #: The configuration used in the paper's evaluation.

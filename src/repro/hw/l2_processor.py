@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .config import ArchConfig
-from .preprocessor import LABEL_NONZERO, LABEL_PSUM, Pack
+from .preprocessor import Pack
 
 
 @dataclass(frozen=True)
@@ -82,17 +82,16 @@ class L2Processor:
         n = output_width or self.config.tile_n
         weight_acc = 0
         psum_acc = 0
-        additions = 0
+        total_units = 0
         for pack in packs:
-            weight_units = sum(1 for u in pack.units if u.label == LABEL_NONZERO)
-            psum_units = sum(1 for u in pack.units if u.label == LABEL_PSUM)
-            weight_acc += weight_units
-            psum_acc += psum_units
-            units_per_row: dict[int, int] = {}
-            for unit in pack.units:
-                units_per_row[unit.row_id] = units_per_row.get(unit.row_id, 0) + 1
-            if units_per_row:
-                additions += self.adder_tree.additions_for(list(units_per_row.values()))
+            weight_acc += pack.num_weight_units
+            psum_acc += pack.num_psum_units
+            total_units += pack.num_units
+        # Per pack, ``additions_for`` over the per-row unit counts reduces
+        # to the pack's unit total times the SIMD width (every row count c
+        # contributes max(c - 1, 0) + 1 == c lanes-worth of additions), so
+        # the per-unit scan collapses to the counters Pack maintains.
+        additions = total_units * self.adder_tree.simd_width
 
         cycles = len(packs)
         if packs:

@@ -62,12 +62,33 @@ class PackUnit:
             raise ValueError("unit value must be +1 or -1")
 
 
+def _make_unit(label: str, index: int, value: int, row_id: int) -> PackUnit:
+    """Construct a :class:`PackUnit` bypassing dataclass validation.
+
+    Internal fast path for unit streams whose labels and values the caller
+    has already checked; the public ``PackUnit(...)`` constructor keeps its
+    validation.
+    """
+    unit = object.__new__(PackUnit)
+    object.__setattr__(unit, "label", label)
+    object.__setattr__(unit, "index", index)
+    object.__setattr__(unit, "value", value)
+    object.__setattr__(unit, "row_id", row_id)
+    return unit
+
+
 @dataclass
 class Pack:
     """A fixed-capacity group of units processed by the L2 processor."""
 
     capacity: int
     units: list[PackUnit] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.num_weight_units = sum(
+            1 for u in self.units if u.label == LABEL_NONZERO
+        )
+        self.num_psum_units = sum(1 for u in self.units if u.label == LABEL_PSUM)
 
     @property
     def num_units(self) -> int:
@@ -97,6 +118,11 @@ class Pack:
         if len(units) > self.free_space:
             raise ValueError("row does not fit into the pack")
         self.units.extend(units)
+        for unit in units:
+            if unit.label == LABEL_NONZERO:
+                self.num_weight_units += 1
+            else:
+                self.num_psum_units += 1
 
     @property
     def utilization(self) -> float:
@@ -120,14 +146,16 @@ class CompressedRow:
 
     def units(self) -> list[PackUnit]:
         """Expand the row into pack units (corrections plus partial sum)."""
-        units = [
-            PackUnit(label=LABEL_NONZERO, index=col, value=val, row_id=self.row_id)
-            for col, val in zip(self.columns, self.values)
-        ]
+        row_id = self.row_id
+        units = []
+        for col, val in zip(self.columns, self.values):
+            # Mirrors PackUnit.__post_init__'s value check; the labels are
+            # the module constants, so the label check cannot fail here.
+            if val != 1 and val != -1:
+                raise ValueError("unit value must be +1 or -1")
+            units.append(_make_unit(LABEL_NONZERO, col, val, row_id))
         if self.needs_psum:
-            units.append(
-                PackUnit(label=LABEL_PSUM, index=self.row_id, value=1, row_id=self.row_id)
-            )
+            units.append(_make_unit(LABEL_PSUM, row_id, 1, row_id))
         return units
 
 
@@ -161,9 +189,23 @@ class PatternMatcher:
     def __init__(self, config: ArchConfig) -> None:
         self.config = config
 
-    def match_tile(self, tile: np.ndarray, patterns: PatternSet) -> MatcherResult:
-        """Match every row of a binary tile against the pattern set."""
-        decomposition = decompose_tile(tile, patterns)
+    def match_tile(
+        self,
+        tile: np.ndarray,
+        patterns: PatternSet,
+        *,
+        decomposition: TileDecomposition | None = None,
+    ) -> MatcherResult:
+        """Match every row of a binary tile against the pattern set.
+
+        When the caller already holds the tile's decomposition (the
+        simulator decomposes the full layer once for its metrics), passing
+        it via ``decomposition`` skips the redundant re-match; the cycle
+        and comparison accounting is unchanged because the systolic array
+        still streams every row past every matcher unit.
+        """
+        if decomposition is None:
+            decomposition = decompose_tile(tile, patterns)
         rows = tile.shape[0]
         comparisons = rows * patterns.num_patterns
         return MatcherResult(
@@ -196,24 +238,33 @@ class Compressor:
     ) -> CompressorResult:
         """Compress a ``(M, k)`` Level 2 matrix into sparse rows."""
         level2 = np.asarray(level2)
+        num_rows = level2.shape[0]
+        # One pass over the whole tile: np.nonzero walks the matrix in
+        # row-major order, so slicing the flat index arrays by per-row
+        # counts yields exactly the per-row ``flatnonzero`` results.
+        row_idx, col_idx = np.nonzero(level2)
+        counts = np.bincount(row_idx, minlength=num_rows)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        columns = col_idx.tolist()
+        values = level2[row_idx, col_idx].astype(int).tolist()
+
         rows: list[CompressedRow] = []
         filtered = 0
-        for row_id in range(level2.shape[0]):
-            cols = np.flatnonzero(level2[row_id])
-            if cols.size == 0:
+        for row_id in range(num_rows):
+            start, stop = offsets[row_id], offsets[row_id + 1]
+            if start == stop:
                 filtered += 1
                 continue
-            values = level2[row_id, cols].astype(int)
             rows.append(
                 CompressedRow(
                     row_id=row_id,
-                    columns=tuple(int(c) for c in cols),
-                    values=tuple(int(v) for v in values),
+                    columns=tuple(columns[start:stop]),
+                    values=tuple(values[start:stop]),
                     needs_psum=needs_psum,
                 )
             )
         # The compressor scans one matcher output row per cycle.
-        return CompressorResult(rows=rows, cycles=level2.shape[0], filtered_rows=filtered)
+        return CompressorResult(rows=rows, cycles=num_rows, filtered_rows=filtered)
 
 
 @dataclass
@@ -253,7 +304,13 @@ class Packer:
     def pack_rows(self, rows: list[CompressedRow]) -> PackerResult:
         """Pack the compressed rows of one tile."""
         capacity = self.config.pack_size
-        windows: list[Pack] = [Pack(capacity) for _ in range(self.config.packer_windows)]
+        num_windows = self.config.packer_windows
+        windows: list[Pack] = [Pack(capacity) for _ in range(num_windows)]
+        # Window occupancy and partial-sum banks are mirrored in plain
+        # lists so the placement scan does not re-derive them from the
+        # unit lists on every probe.
+        used = [0] * num_windows
+        banks: list[set[int]] = [set() for _ in range(num_windows)]
         finished: list[Pack] = []
         evictions = 0
         cycles = 0
@@ -261,6 +318,7 @@ class Packer:
         for row in rows:
             cycles += 1
             all_units = row.units()
+            row_bank = row.row_id % self.num_banks
             # With the calibrated pattern count a row never exceeds a pack
             # (Section 4.2.2); tiny pattern sets used in sweeps can violate
             # that, in which case the row is split across several packs.
@@ -268,25 +326,32 @@ class Packer:
                 all_units[i : i + capacity] for i in range(0, len(all_units), capacity)
             ]
             for units in chunks:
-                row_bank = row.row_id % self.num_banks
-                placed = False
-                for window in windows:
-                    if window.free_space < len(units):
+                num_units = len(units)
+                # The partial-sum unit is always the last of the row, so
+                # only the final chunk can claim a psum bank.
+                has_psum = units[-1].label == LABEL_PSUM
+                target = -1
+                for i in range(num_windows):
+                    if capacity - used[i] < num_units:
                         continue
-                    if row.needs_psum and row_bank in window.psum_banks(self.num_banks):
+                    if row.needs_psum and row_bank in banks[i]:
                         continue
-                    window.add_row(units)
-                    placed = True
+                    target = i
                     break
-                if placed:
-                    continue
-                # Evict the most-filled window and reuse it.
-                victim = max(range(len(windows)), key=lambda i: windows[i].num_units)
-                if windows[victim].num_units:
-                    finished.append(windows[victim])
-                    evictions += 1
-                windows[victim] = Pack(capacity)
-                windows[victim].add_row(units)
+                if target < 0:
+                    # Evict the most-filled window and reuse it.
+                    victim = max(range(num_windows), key=used.__getitem__)
+                    if used[victim]:
+                        finished.append(windows[victim])
+                        evictions += 1
+                    windows[victim] = Pack(capacity)
+                    used[victim] = 0
+                    banks[victim] = set()
+                    target = victim
+                windows[target].add_row(units)
+                used[target] += num_units
+                if has_psum:
+                    banks[target].add(units[-1].row_id % self.num_banks)
 
         for window in windows:
             if window.num_units:
@@ -323,10 +388,19 @@ class Preprocessor:
         self.packer = Packer(config)
 
     def process_tile(
-        self, tile: np.ndarray, patterns: PatternSet, *, needs_psum: bool = True
+        self,
+        tile: np.ndarray,
+        patterns: PatternSet,
+        *,
+        needs_psum: bool = True,
+        decomposition: TileDecomposition | None = None,
     ) -> PreprocessorResult:
-        """Run matcher, compressor and packer on one binary tile."""
-        matched = self.matcher.match_tile(tile, patterns)
+        """Run matcher, compressor and packer on one binary tile.
+
+        ``decomposition`` optionally supplies the tile's already-computed
+        Phi decomposition so the matcher does not redo it.
+        """
+        matched = self.matcher.match_tile(tile, patterns, decomposition=decomposition)
         compressed = self.compressor.compress(matched.level2, needs_psum=needs_psum)
         packed = self.packer.pack_rows(compressed.rows)
         return PreprocessorResult(

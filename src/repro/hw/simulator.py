@@ -42,7 +42,7 @@ from .buffers import BufferSet
 from .config import ArchConfig
 from .dram import DRAMModel
 from .energy import EnergyBreakdown, PhiEnergyModel
-from .l1_processor import L1Processor
+from .l1_processor import L1Processor, distinct_nonzero_per_column
 from .l2_processor import L2Processor
 from .neuron_array import SpikingNeuronArray
 from .preprocessor import Preprocessor
@@ -249,7 +249,6 @@ class PhiSimulator:
         neuron_cycles_total = 0.0
         match_comparisons = 0
         l2_nonzeros_total = 0
-        unique_pattern_rows = 0  # distinct (partition, pattern) pairs, whole layer
         per_tile_unique_rows = 0  # summed per-M-tile uniques (no cross-tile reuse)
 
         for m_start in range(0, layer.m, arch.tile_m):
@@ -257,14 +256,18 @@ class PhiSimulator:
             tile_rows = m_stop - m_start
 
             # --- Preprocessor: one pass per K partition of this M tile. ---
+            # The layer was already decomposed above; rows decompose
+            # independently, so each (M tile, partition) view is sliced out
+            # of that decomposition instead of re-matched from scratch.
             tile_packs = []
             tile_preproc = 0.0
             for p, (k_start, k_stop) in enumerate(boundaries):
-                tile = layer.activations[m_start:m_stop, k_start:k_stop]
+                sub_decomposition = decomposition.tiles[p].row_slice(m_start, m_stop)
                 result = self.preprocessor.process_tile(
-                    tile,
+                    sub_decomposition.original,
                     layer_calibration.pattern_sets[p],
                     needs_psum=(p > 0),
+                    decomposition=sub_decomposition,
                 )
                 tile_packs.extend(result.packs)
                 tile_preproc += result.cycles
@@ -295,9 +298,7 @@ class PhiSimulator:
 
         # Distinct (partition, pattern) pairs used anywhere in the layer —
         # the working set the PWP prefetcher must bring on chip at least once.
-        for partition in range(num_partitions):
-            used = np.unique(pattern_index_matrix[:, partition])
-            unique_pattern_rows += int(np.count_nonzero(used))
+        unique_pattern_rows = distinct_nonzero_per_column(pattern_index_matrix)
 
         # --- PWP DRAM traffic (Section 4.4 prefetcher) -------------------
         # A PWP row spans the full N width of the layer.  Every PWP that is

@@ -1,0 +1,43 @@
+"""Parallel sweep engine with an on-disk content-addressed result cache.
+
+The runner decouples *what* an experiment sweeps (a grid of
+``(PhiConfig, ArchConfig, workload)`` points) from *how* the grid is
+executed (serial, multi-process, cached).  Experiments build
+:class:`SweepPoint` lists and hand them to a :class:`SweepEngine`; the
+engine returns JSON-friendly records and memoises each one under the
+SHA-256 hash of the point's full configuration.
+
+See ``python -m repro.runner --help`` for the CLI.
+"""
+
+from .cache import ResultCache, cache_key, default_cache_dir
+from .engine import (
+    CACHE_SCHEMA_VERSION,
+    DECOMPOSITION,
+    SweepEngine,
+    SweepPoint,
+    SweepStats,
+    WorkloadSpec,
+    aligned_workload,
+    calibration_for,
+    default_engine,
+    simulate_point,
+    summarize_simulation,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DECOMPOSITION",
+    "ResultCache",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepStats",
+    "WorkloadSpec",
+    "aligned_workload",
+    "cache_key",
+    "calibration_for",
+    "default_cache_dir",
+    "default_engine",
+    "simulate_point",
+    "summarize_simulation",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.runner`` dispatches to the sweep CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,207 @@
+"""Command-line entry point for the parallel sweep engine.
+
+Examples
+--------
+Run the Fig. 7 design-space exploration on 4 workers with the on-disk
+cache (the second invocation is served almost entirely from cache)::
+
+    python -m repro.runner fig7 --scale small --jobs 4
+
+Other figures and a generic grid sweep::
+
+    python -m repro.runner fig8 --jobs 4
+    python -m repro.runner fig12
+    python -m repro.runner sweep --model vgg16 --dataset cifar100 \
+        --patterns 8,16,32,64 --jobs 4
+    python -m repro.runner cache --clear
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .cache import ResultCache, default_cache_dir
+from .engine import SweepEngine, SweepPoint, WorkloadSpec
+
+
+def _scale(name: str):
+    from ..experiments.common import PAPER, SMALL, TINY
+
+    return {"tiny": TINY, "small": SMALL, "paper": PAPER}[name]
+
+
+def _engine_from_args(args: argparse.Namespace) -> SweepEngine:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return SweepEngine(cache=cache, jobs=args.jobs, progress=not args.quiet)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=("tiny", "small", "paper"),
+        default="small",
+        help="experiment scale (default: small)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=default_cache_dir(),
+        help="result cache directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress progress output"
+    )
+
+
+def _report(engine: SweepEngine, elapsed: float) -> None:
+    stats = engine.stats
+    print(
+        f"\n{stats.requested} points, {stats.cache_hits} cache hits, "
+        f"{stats.executed} simulated, {elapsed:.2f}s wall-clock"
+    )
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from ..experiments.fig7 import run_fig7
+
+    engine = _engine_from_args(args)
+    start = time.perf_counter()
+    result = run_fig7(_scale(args.scale), engine=engine)
+    elapsed = time.perf_counter() - start
+    print(result.formatted())
+    _report(engine, elapsed)
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from ..experiments.fig8 import DEFAULT_WORKLOADS, FULL_WORKLOADS, run_fig8
+
+    engine = _engine_from_args(args)
+    workloads = FULL_WORKLOADS if args.full else DEFAULT_WORKLOADS
+    start = time.perf_counter()
+    result = run_fig8(_scale(args.scale), workloads=workloads, engine=engine)
+    elapsed = time.perf_counter() - start
+    print(result.formatted())
+    _report(engine, elapsed)
+    return 0
+
+
+def _cmd_fig12(args: argparse.Namespace) -> int:
+    from ..experiments.fig12 import run_fig12
+
+    engine = _engine_from_args(args)
+    start = time.perf_counter()
+    result = run_fig12(_scale(args.scale), engine=engine)
+    elapsed = time.perf_counter() - start
+    print(result.formatted())
+    _report(engine, elapsed)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ..experiments.common import format_table
+
+    scale = _scale(args.scale)
+    engine = _engine_from_args(args)
+    pattern_counts = [int(q) for q in args.patterns.split(",") if q]
+    spec = WorkloadSpec(
+        model=args.model,
+        dataset=args.dataset,
+        batch_size=scale.batch_size,
+        num_steps=scale.num_steps,
+    )
+    points = [
+        SweepPoint(
+            workload=spec,
+            arch=scale.arch_config(num_patterns=q),
+            phi=scale.phi_config(num_patterns=q),
+            label=f"phi:{spec.key}:q={q}",
+        )
+        for q in pattern_counts
+    ]
+    start = time.perf_counter()
+    records = engine.run(points)
+    elapsed = time.perf_counter() - start
+    rows = [
+        {
+            "num_patterns": q,
+            "total_cycles": record["total_cycles"],
+            "throughput_gops": record["throughput_gops"],
+            "energy_joules": record["energy_joules"],
+            "dram_bytes": record["total_dram_bytes"],
+        }
+        for q, record in zip(pattern_counts, records)
+    ]
+    print(format_table(rows))
+    _report(engine, elapsed)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached records from {cache.root}")
+    else:
+        print(f"{len(cache)} cached records in {cache.root}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Parallel, cached sweeps over the Phi simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func, doc in (
+        ("fig7", _cmd_fig7, "Fig. 7 design-space exploration"),
+        ("fig8", _cmd_fig8, "Fig. 8 speedup / energy comparison"),
+        ("fig12", _cmd_fig12, "Fig. 12 memory-traffic comparison"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        _add_common(p)
+        p.set_defaults(func=func)
+        if name == "fig8":
+            p.add_argument(
+                "--full",
+                action="store_true",
+                help="run the paper's full 12-workload list",
+            )
+
+    p = sub.add_parser("sweep", help="generic pattern-count grid sweep")
+    _add_common(p)
+    p.add_argument("--model", default="vgg16")
+    p.add_argument("--dataset", default="cifar100")
+    p.add_argument(
+        "--patterns",
+        default="8,16,32,64,128",
+        help="comma-separated pattern counts (default: %(default)s)",
+    )
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("--cache-dir", default=default_cache_dir())
+    p.add_argument("--clear", action="store_true", help="delete all cached records")
+    p.set_defaults(func=_cmd_cache)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,458 @@
+"""The parallel sweep engine.
+
+A *sweep point* names everything needed to reproduce one simulation:
+the accelerator (the Phi simulator, one of the analytical baselines, or
+the decomposition-only density analysis), the algorithm and architecture
+configurations, and a :class:`WorkloadSpec` describing how to regenerate
+the fixed-seed workload.  :class:`SweepEngine` fans a list of points out
+over ``multiprocessing`` workers and memoises every result in an on-disk
+content-addressed cache, so design-space sweeps pay for each distinct
+configuration exactly once — across processes, runs and experiments.
+
+Workers recompute workloads and calibrations from their specs; both are
+deterministic for a fixed seed, so a record computed anywhere is valid
+everywhere.  Within one process, workloads and calibrations are memoised
+too (``cached_workload`` / :func:`calibration_for`), which is what lets a
+multi-figure run share one calibration across every point that uses the
+same ``(workload, PhiConfig)`` pair.
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..baselines.registry import BASELINE_CLASSES, get_baseline
+from ..core.calibration import ModelCalibration, PhiCalibrator
+from ..core.config import PhiConfig
+from ..core.metrics import (
+    aggregate_breakdowns,
+    aggregate_operation_counts,
+    operation_counts,
+    sparsity_breakdown,
+)
+from ..core.paft import ActivationAligner
+from ..hw.config import ArchConfig
+from ..hw.energy import PhiEnergyModel
+from ..hw.simulator import PhiSimulator, SimulationResult
+from ..workloads.generator import cached_workload
+from ..workloads.workload import LayerWorkload, ModelWorkload
+from .cache import ResultCache, cache_key
+
+#: Bump on ANY change that affects cached records — the record layout OR
+#: result-affecting simulator/calibration behaviour.  The package version
+#: is also hashed into every key (see :meth:`SweepPoint.cache_payload`),
+#: so releases invalidate the cache even when this stays constant.
+CACHE_SCHEMA_VERSION = 1
+
+#: Accelerator name for the decomposition-only density/op-count analysis
+#: used by the Fig. 7a/b tile-size sweep (no cycle-level simulation).
+DECOMPOSITION = "phi_decomposition"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything needed to regenerate a workload deterministically.
+
+    ``paft_strength`` selects the post-PAFT variant: the activations are
+    aligned towards the patterns calibrated on the *original* workload,
+    mirroring :func:`repro.experiments.fig8.apply_paft_to_workload`.
+    """
+
+    model: str
+    dataset: str
+    batch_size: int = 8
+    num_steps: int = 4
+    split: str = "test"
+    seed: int = 0
+    paft_strength: float | None = None
+    paft_seed: int = 0
+
+    @property
+    def key(self) -> str:
+        """Canonical workload identifier."""
+        return f"{self.model}/{self.dataset}"
+
+    def to_dict(self) -> dict:
+        """Serialise the spec to plain Python types (cache-key payload)."""
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "batch_size": self.batch_size,
+            "num_steps": self.num_steps,
+            "split": self.split,
+            "seed": self.seed,
+            "paft_strength": self.paft_strength,
+            "paft_seed": self.paft_seed,
+        }
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (accelerator, configuration, workload) grid point of a sweep."""
+
+    workload: WorkloadSpec
+    arch: ArchConfig
+    phi: PhiConfig | None = None
+    accelerator: str = "phi"
+    buffer_scale: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        known = set(BASELINE_CLASSES) | {"phi", DECOMPOSITION}
+        if self.accelerator not in known:
+            raise ValueError(
+                f"unknown accelerator {self.accelerator!r}; expected one of "
+                f"{sorted(known)}"
+            )
+        if self.accelerator in ("phi", DECOMPOSITION) and self.phi is None:
+            raise ValueError(f"accelerator {self.accelerator!r} needs a PhiConfig")
+
+    def cache_payload(self) -> dict:
+        """The canonical payload hashed into this point's cache key.
+
+        The display ``label`` is deliberately excluded: it does not
+        influence the simulation result.
+        """
+        from .. import __version__
+
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code_version": __version__,
+            "accelerator": self.accelerator,
+            "buffer_scale": self.buffer_scale,
+            "workload": self.workload.to_dict(),
+            "arch": self.arch.to_dict(),
+            "phi": self.phi.to_dict() if self.phi is not None else None,
+        }
+
+    def cache_key(self) -> str:
+        """Content hash identifying this point in the result cache."""
+        return cache_key(self.cache_payload())
+
+    def describe(self) -> str:
+        """Short human-readable tag for progress output."""
+        if self.label:
+            return self.label
+        return f"{self.accelerator}:{self.workload.key}"
+
+
+# --------------------------------------------------------------------- #
+# Workload / calibration resolution (memoised per process)
+# --------------------------------------------------------------------- #
+def calibration_for(workload: ModelWorkload, config: PhiConfig) -> ModelCalibration:
+    """Calibrate ``workload`` under ``config``, memoised on the workload.
+
+    Calibration is deterministic, so the result is attached to the
+    workload object itself (keyed by the frozen ``PhiConfig``); every
+    sweep point and experiment that shares the workload instance then
+    shares one calibration instead of recomputing it per point.
+    """
+    memo = getattr(workload, "_phi_calibration_cache", None)
+    if memo is None:
+        memo = {}
+        workload._phi_calibration_cache = memo
+    if config not in memo:
+        calibrator = PhiCalibrator(config)
+        memo[config] = calibrator.calibrate_model(workload.activation_matrices())
+    return memo[config]
+
+
+def _base_workload(spec: WorkloadSpec) -> ModelWorkload:
+    return cached_workload(
+        spec.model,
+        spec.dataset,
+        batch_size=spec.batch_size,
+        num_steps=spec.num_steps,
+        seed=spec.seed,
+        split=spec.split,
+    )
+
+
+def aligned_workload(
+    workload: ModelWorkload,
+    config: PhiConfig,
+    *,
+    strength: float,
+    seed: int = 0,
+) -> ModelWorkload:
+    """The post-PAFT variant of ``workload`` (Section 3.3 effect model)."""
+    calibration = calibration_for(workload, config)
+    aligner = ActivationAligner(alignment_strength=strength, seed=seed)
+    aligned = ModelWorkload(
+        model_name=workload.model_name, dataset_name=workload.dataset_name
+    )
+    for layer in workload:
+        if layer.name in calibration:
+            activations = aligner.align_layer(layer.activations, calibration[layer.name])
+        else:
+            activations = layer.activations
+        aligned.add(
+            LayerWorkload(
+                name=layer.name, activations=activations, weights=layer.weights
+            )
+        )
+    return aligned
+
+
+def _resolve_workload(point: SweepPoint) -> ModelWorkload:
+    spec = point.workload
+    workload = _base_workload(spec)
+    if spec.paft_strength is not None:
+        if point.phi is None:
+            raise ValueError("PAFT workloads need a PhiConfig for calibration")
+        workload = aligned_workload(
+            workload, point.phi, strength=spec.paft_strength, seed=spec.paft_seed
+        )
+    return workload
+
+
+# --------------------------------------------------------------------- #
+# Record construction
+# --------------------------------------------------------------------- #
+def summarize_simulation(result: SimulationResult) -> dict:
+    """Flatten a Phi :class:`SimulationResult` into a JSON-friendly record."""
+    ops = result.aggregate_operations()
+    breakdown = result.aggregate_breakdown()
+    energy = result.energy
+    return {
+        "total_cycles": result.total_cycles,
+        "runtime_seconds": result.runtime_seconds,
+        "total_operations": result.total_operations,
+        "throughput_gops": result.throughput_gops,
+        "energy_joules": result.energy_joules,
+        "energy": {"core": energy.core, "buffer": energy.buffer, "dram": energy.dram},
+        "total_dram_bytes": result.total_dram_bytes,
+        "operation_counts": {
+            "dense_ops": ops.dense_ops,
+            "bit_sparse_ops": ops.bit_sparse_ops,
+            "phi_level1_ops": ops.phi_level1_ops,
+            "phi_level2_ops": ops.phi_level2_ops,
+        },
+        "breakdown": breakdown.as_dict(),
+        "layers": [
+            {
+                "name": layer.layer_name,
+                "m": layer.m,
+                "k": layer.k,
+                "n": layer.n,
+                "compute_cycles": layer.compute_cycles,
+                "memory_cycles": layer.memory_cycles,
+                "total_cycles": layer.total_cycles,
+                "activation_bytes": layer.activation_bytes,
+                "activation_bytes_uncompressed": layer.activation_bytes_uncompressed,
+                "weight_bytes": layer.weight_bytes,
+                "pwp_bytes_prefetched": layer.pwp_bytes_prefetched,
+                "pwp_bytes_unfiltered": layer.pwp_bytes_unfiltered,
+                "output_bytes": layer.output_bytes,
+                "psum_spill_bytes": layer.psum_spill_bytes,
+                "dram_bytes": layer.dram_bytes,
+            }
+            for layer in result.layers
+        ],
+    }
+
+
+def _phi_record(point: SweepPoint) -> dict:
+    workload = _resolve_workload(point)
+    if point.workload.paft_strength is None:
+        # Matches the simulator's per-layer self-calibration exactly while
+        # letting every point on the same workload share one calibration.
+        calibration = calibration_for(workload, point.phi)
+    else:
+        # The paper fine-tunes, then re-calibrates on the tuned network:
+        # the aligned workload self-calibrates (as in Fig. 8).
+        calibration = None
+    energy_model = PhiEnergyModel(point.arch, buffer_scale=point.buffer_scale)
+    simulator = PhiSimulator(point.arch, point.phi, energy_model=energy_model)
+    result = simulator.run(workload, calibration=calibration)
+    return summarize_simulation(result)
+
+
+def _decomposition_record(point: SweepPoint) -> dict:
+    """Density / op-count analysis without cycle-level simulation."""
+    workload = _resolve_workload(point)
+    calibration = calibration_for(workload, point.phi)
+    breakdown_pairs = []
+    counts = []
+    for layer in workload:
+        decomposition = calibration[layer.name].decompose(layer.activations)
+        breakdown_pairs.append(
+            (sparsity_breakdown(decomposition), layer.activations.size)
+        )
+        counts.append(operation_counts(decomposition))
+    totals = aggregate_operation_counts(counts)
+    breakdown = aggregate_breakdowns(breakdown_pairs)
+    return {
+        "operation_counts": {
+            "dense_ops": totals.dense_ops,
+            "bit_sparse_ops": totals.bit_sparse_ops,
+            "phi_level1_ops": totals.phi_level1_ops,
+            "phi_level2_ops": totals.phi_level2_ops,
+        },
+        "breakdown": breakdown.as_dict(),
+    }
+
+
+def _baseline_record(point: SweepPoint) -> dict:
+    # _resolve_workload honours a PAFT spec too (it needs point.phi for the
+    # alignment calibration); a plain spec resolves to the base workload.
+    workload = _resolve_workload(point)
+    report = get_baseline(point.accelerator, point.arch).simulate(workload)
+    return {
+        "total_cycles": report.total_cycles,
+        "runtime_seconds": report.runtime_seconds,
+        "total_operations": report.total_operations,
+        "throughput_gops": report.throughput_gops,
+        "energy_joules": report.energy_joules,
+        "energy": report.energy_breakdown(),
+        "total_dram_bytes": report.total_dram_bytes,
+        "area_mm2": report.area_mm2,
+    }
+
+
+def simulate_point(point: SweepPoint) -> dict:
+    """Execute one sweep point from scratch and return its record.
+
+    This is the unit of work the engine dispatches to workers (and the
+    seam tests monkeypatch to observe or stub simulator invocations).
+    """
+    if point.accelerator == "phi":
+        record = _phi_record(point)
+    elif point.accelerator == DECOMPOSITION:
+        record = _decomposition_record(point)
+    else:
+        record = _baseline_record(point)
+    record["accelerator"] = point.accelerator
+    record["model"] = point.workload.model
+    record["dataset"] = point.workload.dataset
+    return record
+
+
+# --------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------- #
+@dataclass
+class SweepStats:
+    """Accounting of one or more :meth:`SweepEngine.run` calls."""
+
+    requested: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of requested points served from the cache."""
+        return self.cache_hits / self.requested if self.requested else 0.0
+
+
+class SweepEngine:
+    """Fan sweep points out over workers with an on-disk result cache.
+
+    Parameters
+    ----------
+    cache:
+        Result cache, or ``None`` to disable caching entirely (every point
+        recomputes — the default, so library callers keep pure behaviour
+        unless they opt in).
+    jobs:
+        Worker processes.  ``1`` executes inline in this process (no pool,
+        monkeypatch-friendly); higher values use a process pool.
+    progress:
+        Emit one ``[i/n]`` line per completed point to ``stderr``.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        jobs: int = 1,
+        progress: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.cache = cache
+        self.jobs = jobs
+        self.progress = progress
+        self.stats = SweepStats()
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, done: int, total: int, point: SweepPoint, origin: str) -> None:
+        if self.progress:
+            print(
+                f"[{done}/{total}] {point.describe()} ({origin})",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    def run(self, points: Sequence[SweepPoint]) -> list[dict]:
+        """Execute every point (cache first), preserving input order.
+
+        Points with identical cache keys within one batch are executed
+        once and the record is shared across their result slots.
+        """
+        points = list(points)
+        self.stats.requested += len(points)
+        records: list[dict | None] = [None] * len(points)
+        # key -> indices of every point that resolves to that key.
+        pending: dict[str, list[int]] = {}
+        done = 0
+
+        for i, point in enumerate(points):
+            key = point.cache_key()
+            if key in pending:
+                pending[key].append(i)
+                continue
+            cached = self.cache.get(key) if self.cache else None
+            if cached is not None:
+                records[i] = cached
+                self.stats.cache_hits += 1
+                done += 1
+                self._emit(done, len(points), point, "cache")
+            else:
+                pending[key] = [i]
+
+        def settle(key: str, record: dict) -> None:
+            nonlocal done
+            for i in pending[key]:
+                records[i] = record
+                done += 1
+                self._emit(done, len(points), points[i], "run")
+            self._finish(points[pending[key][0]], record)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                for key in list(pending):
+                    settle(key, simulate_point(points[pending[key][0]]))
+            else:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(simulate_point, points[indices[0]]): key
+                        for key, indices in pending.items()
+                    }
+                    remaining = set(futures)
+                    while remaining:
+                        finished, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            settle(futures[future], future.result())
+        return records  # type: ignore[return-value]
+
+    def _finish(self, point: SweepPoint, record: dict) -> None:
+        self.stats.executed += 1
+        if self.cache is not None:
+            self.cache.put(point.cache_key(), record)
+
+    # ------------------------------------------------------------------ #
+    def run_one(self, point: SweepPoint) -> dict:
+        """Convenience wrapper for a single point."""
+        return self.run([point])[0]
+
+
+def default_engine() -> SweepEngine:
+    """A serial, cache-less engine (pure recompute-everything behaviour)."""
+    return SweepEngine()

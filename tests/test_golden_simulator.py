@@ -1,0 +1,76 @@
+"""Golden regression suite for the cycle-level simulator.
+
+Each golden case re-runs the simulator end to end (workload generation,
+calibration, simulation) for a fixed-seed workload and configuration and
+compares every recorded cycle, traffic and energy figure against the
+frozen JSON under ``tests/golden/``.  The refactors this suite guards
+(vectorized hot paths, decomposition reuse, the sweep engine) are all
+equivalence-preserving, so the comparison is exact for integral values and
+tighter than 1e-12 relative for floats (the only slack allowed is
+floating-point summation-order noise across NumPy versions).
+
+Regenerate after an intentional model change with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_REGEN_PATH = pathlib.Path(__file__).resolve().parent / "golden" / "regen.py"
+_spec = importlib.util.spec_from_file_location("golden_regen", _REGEN_PATH)
+regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(regen)
+
+
+def _assert_matches(actual, expected, path=""):
+    """Recursively compare a summary against its golden counterpart."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping"
+        assert set(actual) == set(expected), f"{path}: key mismatch"
+        for key in expected:
+            _assert_matches(actual[key], expected[key], f"{path}/{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected list"
+        assert len(actual) == len(expected), f"{path}: length mismatch"
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{path}[{i}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=1e-12, abs=0.0), (
+            f"{path}: {actual!r} != {expected!r}"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.fixture(scope="module")
+def golden_summaries():
+    """Simulate every golden workload/config pair once per test session."""
+    summaries = {}
+    for case_name, workload_spec, config_name in regen.GOLDEN_CASES:
+        summaries[case_name] = regen.run_case(workload_spec, config_name)
+    return summaries
+
+
+@pytest.mark.parametrize(
+    "case_name", [case[0] for case in regen.GOLDEN_CASES], ids=str
+)
+def test_simulator_matches_golden(case_name, golden_summaries):
+    golden_file = regen.golden_path(case_name)
+    assert golden_file.exists(), (
+        f"missing golden file {golden_file}; run tests/golden/regen.py"
+    )
+    expected = json.loads(golden_file.read_text())
+    _assert_matches(golden_summaries[case_name], expected, path=case_name)
+
+
+def test_golden_files_cover_all_cases():
+    """Every declared case has a frozen file and vice versa."""
+    declared = {case[0] for case in regen.GOLDEN_CASES}
+    on_disk = {p.stem for p in regen.GOLDEN_DIR.glob("*.json")}
+    assert on_disk == declared

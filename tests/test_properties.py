@@ -20,6 +20,26 @@ binary_tiles = arrays(
     elements=st.integers(0, 1),
 )
 
+
+@st.composite
+def tile_with_patterns(draw):
+    """A binary tile plus a pattern set of matching (drawn) width.
+
+    Unlike :data:`binary_tiles`, both the partition width and the pattern
+    count vary, so the decomposition invariants are exercised across the
+    whole (shape, pattern-count) grid rather than at a fixed width.
+    """
+    width = draw(st.integers(1, 24))
+    rows = draw(st.integers(1, 32))
+    num_patterns = draw(st.integers(1, 12))
+    tile = draw(
+        arrays(dtype=np.uint8, shape=(rows, width), elements=st.integers(0, 1))
+    )
+    patterns = draw(
+        arrays(dtype=np.uint8, shape=(num_patterns, width), elements=st.integers(0, 1))
+    )
+    return tile, patterns
+
 binary_patterns = arrays(
     dtype=np.uint8,
     shape=st.tuples(st.integers(1, 6), st.just(8)),
@@ -58,6 +78,50 @@ def test_level2_never_needs_more_work_than_bit_sparsity(tile, patterns):
 def test_level2_values_are_ternary(tile, patterns):
     result = decompose_tile(tile, PatternSet(patterns))
     assert set(np.unique(result.level2)) <= {-1, 0, 1}
+
+
+@settings(max_examples=60, deadline=None)
+@given(tile_patterns=tile_with_patterns())
+def test_decomposition_exact_across_shapes_and_pattern_counts(tile_patterns):
+    """L1 + L2 == A for every tile shape and pattern count combination."""
+    tile, patterns = tile_patterns
+    result = decompose_tile(tile, PatternSet(patterns))
+    level1 = result.level1_matrix().astype(np.int16)
+    level2 = result.level2.astype(np.int16)
+    assert np.array_equal(level1 + level2, tile.astype(np.int16))
+    assert np.array_equal(result.reconstruct(), tile.astype(np.int8))
+
+
+@settings(max_examples=60, deadline=None)
+@given(tile_patterns=tile_with_patterns())
+def test_level2_ternary_across_shapes_and_pattern_counts(tile_patterns):
+    """Level 2 values stay in {-1, 0, +1} for arbitrary shapes/counts."""
+    tile, patterns = tile_patterns
+    result = decompose_tile(tile, PatternSet(patterns))
+    assert set(np.unique(result.level2)) <= {-1, 0, 1}
+    # Pattern indices stay in the valid range (0 = no pattern).
+    assert result.pattern_indices.min() >= 0
+    assert result.pattern_indices.max() <= patterns.shape[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(tile_patterns=tile_with_patterns(), data=st.data())
+def test_row_slice_equals_decomposing_the_slice(tile_patterns, data):
+    """Slicing a decomposition == decomposing the row slice.
+
+    This is the exact-equivalence property the simulator's decomposition
+    reuse rests on: rows are decomposed independently.
+    """
+    tile, patterns = tile_patterns
+    pattern_set = PatternSet(patterns)
+    full = decompose_tile(tile, pattern_set)
+    start = data.draw(st.integers(0, tile.shape[0] - 1))
+    stop = data.draw(st.integers(start, tile.shape[0]))
+    sliced = full.row_slice(start, stop)
+    fresh = decompose_tile(tile[start:stop], pattern_set)
+    assert np.array_equal(sliced.pattern_indices, fresh.pattern_indices)
+    assert np.array_equal(sliced.level2, fresh.level2)
+    assert np.array_equal(sliced.original, fresh.original)
 
 
 @settings(max_examples=30, deadline=None)
@@ -153,6 +217,87 @@ def test_hamming_distance_matrix_properties(rows, centers):
     distances = hamming_distance_matrix(rows, centers)
     assert distances.min() >= 0
     assert distances.max() <= rows.shape[1]
+
+
+index_matrices = arrays(
+    dtype=np.int32,
+    shape=st.tuples(st.integers(0, 24), st.integers(1, 40)),
+    elements=st.integers(0, 9),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrix=index_matrices, lanes=st.integers(1, 8))
+def test_l1_cycles_match_naive_reference(matrix, lanes):
+    """The vectorized L1 cycle model equals the per-row/group loop."""
+    from repro.hw.config import ArchConfig
+    from repro.hw.l1_processor import L1Processor
+
+    arch = ArchConfig(num_channels=lanes, num_patterns=16)
+    result = L1Processor(arch).process_tile(matrix, num_patterns_per_partition=16)
+
+    group = 16
+    expected_cycles = 0
+    for row in range(matrix.shape[0]):
+        for start in range(0, matrix.shape[1], group):
+            nonzeros = int(np.count_nonzero(matrix[row, start : start + group]))
+            expected_cycles += 1 if nonzeros == 0 else int(np.ceil(nonzeros / lanes))
+    assert result.cycles == expected_cycles
+    assert result.pwp_accumulations == int(np.count_nonzero(matrix))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    matrix=arrays(
+        dtype=np.int32,
+        shape=st.tuples(st.integers(0, 20), st.integers(1, 12)),
+        elements=st.integers(-3, 6),
+    )
+)
+def test_distinct_nonzero_per_column_matches_unique(matrix):
+    """The presence-table scatter equals the per-column np.unique loop."""
+    from repro.hw.l1_processor import distinct_nonzero_per_column
+
+    expected = sum(
+        int(np.count_nonzero(np.unique(matrix[:, c]))) for c in range(matrix.shape[1])
+    )
+    assert distinct_nonzero_per_column(matrix) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    level2=arrays(
+        dtype=np.int8,
+        shape=st.tuples(st.integers(0, 24), st.integers(1, 16)),
+        elements=st.integers(-1, 1),
+    ),
+    needs_psum=st.booleans(),
+)
+def test_compress_and_pack_conserve_units(level2, needs_psum):
+    """Every Level 2 nonzero (plus psums) lands in exactly one pack unit."""
+    from repro.hw.config import ArchConfig
+    from repro.hw.preprocessor import Compressor, Packer
+
+    arch = ArchConfig(num_patterns=16)
+    compressed = Compressor(arch).compress(level2, needs_psum=needs_psum)
+    nonzero_rows = int(np.count_nonzero(np.count_nonzero(level2, axis=1)))
+    assert compressed.filtered_rows == level2.shape[0] - nonzero_rows
+    assert compressed.total_nonzeros == int(np.count_nonzero(level2))
+
+    packed = Packer(arch).pack_rows(compressed.rows)
+    total_units = sum(pack.num_units for pack in packed.packs)
+    expected_psums = nonzero_rows if needs_psum else 0
+    assert total_units == compressed.total_nonzeros + expected_psums
+    weight_units = sum(pack.num_weight_units for pack in packed.packs)
+    psum_units = sum(pack.num_psum_units for pack in packed.packs)
+    assert weight_units == compressed.total_nonzeros
+    assert psum_units == expected_psums
+    assert all(pack.num_units <= arch.pack_size for pack in packed.packs)
+    # The packer's conflict avoidance guarantees every psum unit of a pack
+    # lands in a distinct bank, so Pack.psum_banks (derived from the unit
+    # list) must agree with the packer's own mirrored bank bookkeeping.
+    for pack in packed.packs:
+        assert len(pack.psum_banks(arch.num_channels)) == pack.num_psum_units
 
 
 @settings(max_examples=50, deadline=None)

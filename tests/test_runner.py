@@ -1,0 +1,200 @@
+"""Tests for the parallel sweep engine and its on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import TINY
+from repro.runner import ResultCache, SweepEngine, SweepPoint, WorkloadSpec, cache_key
+from repro.runner import engine as engine_module
+
+
+def tiny_spec(model: str = "vgg16", dataset: str = "cifar10") -> WorkloadSpec:
+    return WorkloadSpec(model=model, dataset=dataset, batch_size=2, num_steps=2)
+
+
+def tiny_point(**overrides) -> SweepPoint:
+    params = {
+        "workload": tiny_spec(),
+        "arch": TINY.arch_config(),
+        "phi": TINY.phi_config(),
+    }
+    params.update(overrides)
+    return SweepPoint(**params)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"x": 1.5})
+        assert cache.get("ab" * 32) == {"x": 1.5}
+        assert len(cache) == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("cd" * 32) is None
+
+    def test_corrupt_record_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"x": 1})
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" + "0" * 62, {"i": i})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_cache_key_is_canonical(self):
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+        assert cache_key({"a": 1}) != cache_key({"a": 2})
+
+
+class TestSweepPoint:
+    def test_label_does_not_change_key(self):
+        assert (
+            tiny_point(label="x").cache_key() == tiny_point(label="y").cache_key()
+        )
+
+    def test_config_change_changes_key(self):
+        base = tiny_point()
+        other = tiny_point(phi=TINY.phi_config(num_patterns=8))
+        assert base.cache_key() != other.cache_key()
+        arch_other = tiny_point(arch=TINY.arch_config(tile_m=128))
+        assert base.cache_key() != arch_other.cache_key()
+
+    def test_workload_seed_changes_key(self):
+        seeded = tiny_point(
+            workload=WorkloadSpec("vgg16", "cifar10", batch_size=2, num_steps=2, seed=7)
+        )
+        assert tiny_point().cache_key() != seeded.cache_key()
+
+    def test_payload_carries_schema_version(self):
+        payload = tiny_point().cache_payload()
+        assert payload["schema"] == engine_module.CACHE_SCHEMA_VERSION
+
+    def test_unknown_accelerator_rejected(self):
+        with pytest.raises(ValueError, match="unknown accelerator"):
+            tiny_point(accelerator="tpu")
+
+    def test_phi_accelerator_requires_config(self):
+        with pytest.raises(ValueError, match="needs a PhiConfig"):
+            SweepPoint(workload=tiny_spec(), arch=TINY.arch_config(), phi=None)
+
+
+class TestSweepEngineCaching:
+    @pytest.fixture()
+    def counted_simulate(self, monkeypatch):
+        """Stub ``simulate_point`` with an invocation counter."""
+        calls: list[SweepPoint] = []
+
+        def fake_simulate(point: SweepPoint) -> dict:
+            calls.append(point)
+            return {"total_cycles": 123.0, "key": point.cache_key()}
+
+        monkeypatch.setattr(engine_module, "simulate_point", fake_simulate)
+        return calls
+
+    def test_second_run_hits_cache_with_zero_invocations(
+        self, tmp_path, counted_simulate
+    ):
+        point = tiny_point()
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        first = engine.run_one(point)
+        assert len(counted_simulate) == 1
+
+        rerun_engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        second = rerun_engine.run_one(point)
+        assert len(counted_simulate) == 1, "cached point must not re-simulate"
+        assert second == first
+        assert rerun_engine.stats.cache_hits == 1
+        assert rerun_engine.stats.executed == 0
+
+    def test_config_change_invalidates_cache(self, tmp_path, counted_simulate):
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        engine.run_one(tiny_point())
+        engine.run_one(tiny_point(phi=TINY.phi_config(num_patterns=8)))
+        assert len(counted_simulate) == 2, "changed config hash must recompute"
+
+    def test_no_cache_always_recomputes(self, counted_simulate):
+        engine = SweepEngine(cache=None, jobs=1)
+        point = tiny_point()
+        engine.run_one(point)
+        engine.run_one(point)
+        assert len(counted_simulate) == 2
+
+    def test_duplicate_points_in_one_batch_dedupe_via_cache(
+        self, tmp_path, counted_simulate
+    ):
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        records = engine.run([tiny_point(), tiny_point(label="same-key")])
+        assert len(counted_simulate) == 2 - 1
+        assert records[0] == records[1]
+
+    def test_records_preserve_input_order(self, tmp_path, counted_simulate):
+        points = [
+            tiny_point(),
+            tiny_point(phi=TINY.phi_config(num_patterns=8)),
+            tiny_point(phi=TINY.phi_config(num_patterns=4)),
+        ]
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        records = engine.run(points)
+        assert [r["key"] for r in records] == [p.cache_key() for p in points]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=0)
+
+
+class TestSweepEngineExecution:
+    def test_real_point_and_cached_record_agree(self, tmp_path):
+        """A real (tiny) simulation round-trips exactly through the cache."""
+        point = tiny_point()
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        record = engine.run_one(point)
+        assert record["accelerator"] == "phi"
+        assert record["total_cycles"] > 0
+        assert record["layers"], "phi records carry per-layer metrics"
+        cached = ResultCache(tmp_path).get(point.cache_key())
+        assert cached == json.loads(json.dumps(record)), "records are JSON-stable"
+
+    def test_paft_spec_is_honoured_for_every_accelerator(self):
+        """A PAFT workload spec changes the record for all accelerator kinds."""
+        import dataclasses
+
+        engine = SweepEngine(jobs=1)
+        paft_spec = dataclasses.replace(tiny_spec(), paft_strength=0.9)
+        for accelerator in ("phi", "eyeriss", engine_module.DECOMPOSITION):
+            base = engine.run_one(tiny_point(accelerator=accelerator))
+            paft = engine.run_one(
+                tiny_point(workload=paft_spec, accelerator=accelerator)
+            )
+            assert base != paft, f"{accelerator} ignored paft_strength"
+
+    def test_paft_baseline_without_phi_config_is_rejected(self):
+        import dataclasses
+
+        point = tiny_point(
+            workload=dataclasses.replace(tiny_spec(), paft_strength=0.5),
+            accelerator="eyeriss",
+            phi=None,
+        )
+        with pytest.raises(ValueError, match="PAFT workloads need a PhiConfig"):
+            engine_module.simulate_point(point)
+
+    def test_parallel_results_match_serial(self, tmp_path):
+        points = [
+            tiny_point(),
+            tiny_point(accelerator="eyeriss", phi=None),
+            tiny_point(
+                accelerator=engine_module.DECOMPOSITION,
+                phi=TINY.phi_config(num_patterns=8),
+            ),
+        ]
+        serial = SweepEngine(jobs=1).run(points)
+        parallel = SweepEngine(jobs=2).run(points)
+        assert json.loads(json.dumps(serial)) == json.loads(json.dumps(parallel))
