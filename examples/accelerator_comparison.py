@@ -6,10 +6,20 @@ workloads — a spiking CNN on images, a spiking transformer on an event
 stream and a spiking language model on text — and prints the speedup and
 energy-efficiency table normalised to Spiking Eyeriss.
 
-Run with:  python examples/accelerator_comparison.py
+Run with:  python examples/accelerator_comparison.py  (after ``pip install -e .``)
+
+Registry cross-reference: the full evaluation versions are the ``fig8``
+and ``table2`` entries of ``python -m repro.report --list``.
 """
 
 from __future__ import annotations
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - user guidance only
+    raise SystemExit(
+        "phi-repro is not installed; run `pip install -e .` from the repo root"
+    )
 
 from repro.baselines import PhiAccelerator, available_baselines, get_baseline
 from repro.core import PhiConfig

@@ -8,16 +8,27 @@ operation count and the PWP memory footprint respond.  The sweet spot of
 the sweep justifies the configuration used by the accelerator.
 
 Run with:  python examples/design_space_exploration.py [--jobs N]
+(after ``pip install -e .``)
 
 Both sweeps route through the :class:`repro.runner.SweepEngine`, so
 ``--jobs`` fans the grid points out over worker processes and a second
-invocation is served from the on-disk result cache (also reachable as
+invocation is served from the on-disk result cache.
+
+Registry cross-reference: the full evaluation version is the ``fig7``
+entry of ``python -m repro.report --list`` (also reachable as
 ``python -m repro.runner fig7``).
 """
 
 from __future__ import annotations
 
 import argparse
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - user guidance only
+    raise SystemExit(
+        "phi-repro is not installed; run `pip install -e .` from the repo root"
+    )
 
 from repro.experiments import ExperimentScale, run_fig7_pattern_sweep, run_fig7_tile_sweep
 from repro.runner import ResultCache, SweepEngine

@@ -8,12 +8,23 @@ spike activations towards the calibrated patterns, which reduces the
 runtime corrections the accelerator has to process at a small accuracy
 cost.
 
-Run with:  python examples/paft_finetuning.py
+Run with:  python examples/paft_finetuning.py  (after ``pip install -e .``)
+
+Registry cross-reference: the evaluation versions of this analysis are
+the ``fig9``, ``fig10`` and ``fig11`` entries of
+``python -m repro.report --list``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - user guidance only
+    raise SystemExit(
+        "phi-repro is not installed; run `pip install -e .` from the repo root"
+    )
 
 from repro.core import PAFTConfig, PhiCalibrator, PhiConfig, sparsity_breakdown
 from repro.datasets import make_dataset

@@ -11,12 +11,22 @@ The example walks through the complete pipeline of the paper:
 4. simulate the Phi accelerator and compare it against the dense Spiking
    Eyeriss baseline.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py  (after ``pip install -e .``)
+
+Registry cross-reference: the same pipeline at evaluation scale is the
+``table2`` / ``table4`` entries of ``python -m repro.report --list``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - user guidance only
+    raise SystemExit(
+        "phi-repro is not installed; run `pip install -e .` from the repo root"
+    )
 
 from repro.baselines import PhiAccelerator, get_baseline
 from repro.core import PhiCalibrator, PhiConfig, operation_counts, sparsity_breakdown

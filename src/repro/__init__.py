@@ -19,6 +19,9 @@ Reproduction of the ISCA 2025 paper.  The package is organised as:
 * :mod:`repro.experiments` — one harness per paper table / figure.
 * :mod:`repro.runner` — the parallel sweep engine with its on-disk
   content-addressed result cache (``python -m repro.runner``).
+* :mod:`repro.report` — the reproduction-report pipeline that runs the
+  experiment registry and emits ``REPRODUCTION.md``
+  (``python -m repro.report``).
 
 Subpackages are imported lazily on attribute access to keep ``import
 repro`` fast.
@@ -38,6 +41,7 @@ _SUBPACKAGES = (
     "analysis",
     "experiments",
     "runner",
+    "report",
 )
 
 __all__ = list(_SUBPACKAGES) + ["__version__"]

@@ -1,6 +1,20 @@
-"""Experiment harnesses: one module per table / figure of the paper."""
+"""Experiment harnesses: one module per table / figure of the paper.
+
+The registry (:mod:`repro.experiments.registry`) enumerates every
+harness with the paper artifact it reproduces; the report pipeline
+(:mod:`repro.report`) runs any subset of it and emits ``REPRODUCTION.md``.
+"""
 
 from .common import PAPER, SMALL, TINY, ExperimentScale, format_table, get_workload
+from .registry import (
+    REGISTRY,
+    SCALES,
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    registry_markdown_table,
+    resolve_scale,
+)
 from .discussion import DiscussionResult, run_discussion
 from .fig1 import Fig1Result, run_fig1
 from .fig7 import (
@@ -21,9 +35,16 @@ from .table4 import Table4Result, run_table4
 
 __all__ = [
     "ExperimentScale",
+    "ExperimentSpec",
+    "REGISTRY",
+    "SCALES",
     "TINY",
     "SMALL",
     "PAPER",
+    "experiment_names",
+    "get_experiment",
+    "registry_markdown_table",
+    "resolve_scale",
     "get_workload",
     "format_table",
     "run_table2",

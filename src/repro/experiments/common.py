@@ -90,6 +90,43 @@ SMALL = ExperimentScale()
 #: Closest to the paper's configuration (q = 128) on the scaled model zoo.
 PAPER = ExperimentScale(batch_size=8, num_steps=4, num_patterns=128)
 
+#: The single name -> tier mapping everything else consumes (the
+#: registry's ``SCALES``, the CLIs' ``--scale`` choices, the generated
+#: DESIGN.md table).  Add new tiers here and in ``TIER_PURPOSE`` only.
+SCALE_TIERS: dict[str, ExperimentScale] = {
+    "tiny": TINY,
+    "small": SMALL,
+    "paper": PAPER,
+}
+
+#: One-line purpose per exported tier (rendered into the DESIGN.md table).
+TIER_PURPOSE = {
+    "tiny": "unit tests, CI smoke",
+    "small": "default benchmarks",
+    "paper": "closest to the paper's q=128",
+}
+
+
+def scales_markdown_table() -> str:
+    """The `ExperimentScale` tier table, generated from the code.
+
+    DESIGN.md embeds this table verbatim and a docs test asserts they
+    stay in sync, so the documented tiers can never drift from the
+    exported ``TINY``/``SMALL``/``PAPER`` constants.
+    """
+    lines = [
+        "| Tier | batch | steps | q (patterns) | k (partition) "
+        "| calibration rows | Use |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for name, tier in SCALE_TIERS.items():
+        lines.append(
+            f"| `{name.upper()}` | {tier.batch_size} | {tier.num_steps} "
+            f"| {tier.num_patterns} | {tier.partition_size} "
+            f"| {tier.calibration_samples} | {TIER_PURPOSE[name]} |"
+        )
+    return "\n".join(lines)
+
 
 def workload_for(
     model_name: str,

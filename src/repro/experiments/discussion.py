@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 
 from ..baselines.base import BUFFER_BYTES_PER_ACCUMULATION
 from ..hw.energy import ACCUMULATE_ENERGY_PJ, BUFFER_ENERGY_PER_BYTE_PJ, MATCH_ENERGY_PJ
-from ..hw.simulator import PhiSimulator
-from .common import SMALL, ExperimentScale, format_table, get_workload
+from ..runner.engine import SweepEngine, SweepPoint, default_engine
+from .common import SMALL, ExperimentScale, format_table
 
 #: Model/dataset pairs used for the preprocessing cost analysis.
 DISCUSSION_WORKLOADS: tuple[tuple[str, str], ...] = (
@@ -71,22 +71,54 @@ def run_discussion(
     scale: ExperimentScale = SMALL,
     *,
     workloads: tuple[tuple[str, str], ...] = DISCUSSION_WORKLOADS,
+    engine: SweepEngine | None = None,
 ) -> DiscussionResult:
-    """Reproduce the Section 6.1 preprocessing benefit/cost analysis."""
+    """Reproduce the Section 6.1 preprocessing benefit/cost analysis.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale tier.
+    workloads:
+        Model/dataset pairs to analyse.
+    engine:
+        Sweep engine executing the Phi simulation points; defaults to a
+        serial, cache-less engine.
+
+    Returns
+    -------
+    DiscussionResult
+        One :class:`OverheadRow` per workload, computed from the
+        simulator's per-layer activity counters in the sweep records.
+    """
+    engine = engine or default_engine()
+    points = [
+        SweepPoint(
+            workload=scale.workload_spec(model_name, dataset_name),
+            arch=scale.arch_config(),
+            phi=scale.phi_config(),
+            label=f"discussion:{model_name}/{dataset_name}",
+        )
+        for model_name, dataset_name in workloads
+    ]
+    records = engine.run(points)
     result = DiscussionResult()
-    simulator = PhiSimulator(scale.arch_config(), scale.phi_config())
-    for model_name, dataset_name in workloads:
-        workload = get_workload(model_name, dataset_name, scale)
-        sim = simulator.run(workload)
-        match_ops = sum(layer.pattern_match_comparisons for layer in sim.layers)
+    for (model_name, dataset_name), record in zip(workloads, records):
+        layers = record["layers"]
+        match_ops = sum(layer["pattern_match_comparisons"] for layer in layers)
         preprocessing_energy = match_ops * MATCH_ENERGY_PJ * 1e-12
         # Saved accumulations: the difference between the bit-sparse work
         # and the Phi work, expanded over the output width of each layer.
         # Each skipped accumulation also saves its weight / partial-sum
         # SRAM accesses, which dominate the per-accumulation energy.
         saved_scalar_accumulations = sum(
-            (l.operation_counts.bit_sparse_ops - l.operation_counts.phi_ops) * l.n
-            for l in sim.layers
+            (
+                layer["operation_counts"]["bit_sparse_ops"]
+                - layer["operation_counts"]["phi_level1_ops"]
+                - layer["operation_counts"]["phi_level2_ops"]
+            )
+            * layer["n"]
+            for layer in layers
         )
         energy_per_accumulation = (
             ACCUMULATE_ENERGY_PJ

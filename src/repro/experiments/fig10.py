@@ -8,12 +8,12 @@ transformer models of Fig. 10.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.metrics import aggregate_breakdowns, sparsity_breakdown
+from ..runner.engine import DECOMPOSITION, SweepEngine, SweepPoint, default_engine
 from ..workloads.workload import ModelWorkload
-from .common import SMALL, ExperimentScale, calibrate_workload, format_table, get_workload
-from .fig8 import apply_paft_to_workload
+from .common import SMALL, ExperimentScale, calibrate_workload, format_table
 
 #: The model/dataset pairs shown in Fig. 10.
 FIG10_WORKLOADS: tuple[tuple[str, str], ...] = (
@@ -62,7 +62,11 @@ class Fig10Result:
 
 
 def element_density(workload: ModelWorkload, scale: ExperimentScale) -> float:
-    """Element-weighted Level 2 density of a workload."""
+    """Element-weighted Level 2 density of an in-memory workload.
+
+    Library helper for freshly extracted workloads; :func:`run_fig10`
+    computes the same quantity through the sweep engine.
+    """
     calibration = calibrate_workload(workload, scale)
     pairs = []
     for layer in workload:
@@ -76,22 +80,55 @@ def run_fig10(
     *,
     workloads: tuple[tuple[str, str], ...] = FIG10_WORKLOADS,
     alignment_strength: float = 0.5,
+    engine: SweepEngine | None = None,
 ) -> Fig10Result:
-    """Reproduce the Fig. 10 element-density comparison."""
-    result = Fig10Result()
+    """Reproduce the Fig. 10 element-density comparison.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale tier.
+    workloads:
+        Model/dataset pairs to compare.
+    alignment_strength:
+        PAFT alignment strength of the "with PAFT" variant.
+    engine:
+        Sweep engine executing the decomposition points (two per
+        workload: without and with PAFT); defaults to a serial,
+        cache-less engine.
+
+    Returns
+    -------
+    Fig10Result
+        One :class:`DensityPair` per workload.
+    """
+    engine = engine or default_engine()
+    points = []
     for model_name, dataset_name in workloads:
-        workload = get_workload(model_name, dataset_name, scale)
-        without = element_density(workload, scale)
-        paft_workload = apply_paft_to_workload(
-            workload, scale, alignment_strength=alignment_strength
-        )
-        with_paft = element_density(paft_workload, scale)
+        spec = scale.workload_spec(model_name, dataset_name)
+        for variant_spec, tag in (
+            (spec, "base"),
+            (replace(spec, paft_strength=alignment_strength), "paft"),
+        ):
+            points.append(
+                SweepPoint(
+                    workload=variant_spec,
+                    arch=scale.arch_config(),
+                    phi=scale.phi_config(),
+                    accelerator=DECOMPOSITION,
+                    label=f"fig10:{spec.key}:{tag}",
+                )
+            )
+    records = engine.run(points)
+    result = Fig10Result()
+    for (model_name, dataset_name), index in zip(workloads, range(0, len(points), 2)):
+        without, with_paft = records[index], records[index + 1]
         result.pairs.append(
             DensityPair(
                 model=model_name,
                 dataset=dataset_name,
-                density_without_paft=without,
-                density_with_paft=with_paft,
+                density_without_paft=without["breakdown"]["level2_density"],
+                density_with_paft=with_paft["breakdown"]["level2_density"],
             )
         )
     return result

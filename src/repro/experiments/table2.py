@@ -3,14 +3,19 @@
 Reports throughput (GOP/s), energy efficiency (GOP/J) and area efficiency
 (GOP/s/mm^2) for Spiking Eyeriss, PTB, SATO, SpinalFlow, Stellar and Phi,
 all normalised to Spiking Eyeriss as in the paper.
+
+Every accelerator is one :class:`~repro.runner.SweepPoint` and the whole
+table is a single :class:`~repro.runner.SweepEngine` batch, so re-runs
+come from the result cache and ``--jobs`` parallelises across rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..baselines.registry import BASELINE_ORDER, PhiAccelerator, get_baseline
-from .common import SMALL, ExperimentScale, calibrate_workload, format_table, get_workload
+from ..baselines.registry import BASELINE_ORDER
+from ..runner.engine import SweepEngine, SweepPoint, default_engine
+from .common import SMALL, ExperimentScale, format_table
 
 
 @dataclass(frozen=True)
@@ -67,31 +72,66 @@ def run_table2(
     model_name: str = "vgg16",
     dataset_name: str = "cifar100",
     use_train_calibration: bool = False,
+    engine: SweepEngine | None = None,
 ) -> Table2Result:
-    """Reproduce Table 2 on the scaled VGG-16 / CIFAR100 workload."""
-    workload = get_workload(model_name, dataset_name, scale)
-    reports = {}
-    for name in BASELINE_ORDER:
-        reports[name] = get_baseline(name, scale.arch_config()).simulate(workload)
+    """Reproduce Table 2 on the scaled VGG-16 / CIFAR100 workload.
 
-    phi = PhiAccelerator(scale.arch_config(), scale.phi_config())
-    calibration = calibrate_workload(workload, scale) if use_train_calibration else None
-    reports["phi"] = phi.simulate(workload, calibration=calibration)
+    Parameters
+    ----------
+    scale:
+        Experiment scale tier.
+    model_name, dataset_name:
+        The workload the table compares accelerators on.
+    use_train_calibration:
+        Retained for API compatibility; both values produce identical
+        results.  Calibration is deterministic, so the simulator's
+        per-layer self-calibration and an explicit whole-workload
+        calibration yield the same patterns (see DESIGN.md, "The
+        engine"), and the engine shares one memoised calibration either
+        way.
+    engine:
+        Sweep engine to execute the per-accelerator points on; defaults to
+        a serial, cache-less engine.
 
-    baseline = reports["eyeriss"]
+    Returns
+    -------
+    Table2Result
+        One :class:`AcceleratorRow` per baseline plus Phi, normalised to
+        Spiking Eyeriss.
+    """
+    engine = engine or default_engine()
+    spec = scale.workload_spec(model_name, dataset_name)
+    arch = scale.arch_config()
+    names = BASELINE_ORDER + ("phi",)
+    points = [
+        SweepPoint(
+            workload=spec,
+            arch=arch,
+            phi=scale.phi_config() if name == "phi" else None,
+            accelerator=name,
+            label=f"table2:{spec.key}:{name}",
+        )
+        for name in names
+    ]
+    records = dict(zip(names, engine.run(points)))
+
+    baseline = records["eyeriss"]
     result = Table2Result(model_name=model_name, dataset_name=dataset_name)
-    for name, report in reports.items():
+    for name in names:
+        record = records[name]
         result.rows.append(
             AcceleratorRow(
                 accelerator=name,
-                area_mm2=report.area_mm2,
-                throughput_gops=report.throughput_gops,
-                energy_efficiency_gopj=report.energy_efficiency_gops_per_joule,
-                area_efficiency_gops_mm2=report.area_efficiency_gops_per_mm2,
-                speedup_vs_eyeriss=report.throughput_gops / baseline.throughput_gops,
+                area_mm2=record["area_mm2"],
+                throughput_gops=record["throughput_gops"],
+                energy_efficiency_gopj=record["energy_efficiency_gops_per_joule"],
+                area_efficiency_gops_mm2=record["area_efficiency_gops_per_mm2"],
+                speedup_vs_eyeriss=(
+                    record["throughput_gops"] / baseline["throughput_gops"]
+                ),
                 energy_ratio_vs_eyeriss=(
-                    report.energy_efficiency_gops_per_joule
-                    / baseline.energy_efficiency_gops_per_joule
+                    record["energy_efficiency_gops_per_joule"]
+                    / baseline["energy_efficiency_gops_per_joule"]
                 ),
             )
         )

@@ -11,16 +11,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.calibration import PhiCalibrator
 from ..core.metrics import (
+    OperationCounts,
     aggregate_breakdowns,
     aggregate_operation_counts,
     operation_counts,
     sparsity_breakdown,
 )
-from ..workloads.generator import generate_random_workload
+from ..runner.engine import (
+    DECOMPOSITION,
+    SweepEngine,
+    SweepPoint,
+    WorkloadSpec,
+    calibration_for,
+    default_engine,
+)
 from ..workloads.workload import ModelWorkload
-from .common import SMALL, ExperimentScale, format_table, get_workload
+from .common import SMALL, ExperimentScale, format_table
 
 
 @dataclass(frozen=True)
@@ -77,13 +84,17 @@ class Table4Result:
 
 
 def analyze_workload(workload: ModelWorkload, scale: ExperimentScale) -> SparsityRow:
-    """Compute one Table 4 row for an arbitrary workload."""
-    calibrator = PhiCalibrator(scale.phi_config())
+    """Compute one Table 4 row for an arbitrary in-memory workload.
+
+    This is the library path for workloads that cannot be described by a
+    :class:`~repro.runner.WorkloadSpec` (e.g. freshly extracted ones);
+    :func:`run_table4` routes its grid through the sweep engine instead.
+    """
+    calibration = calibration_for(workload, scale.phi_config())
     breakdowns = []
     counts = []
     for layer in workload:
-        calibration = calibrator.calibrate_layer(layer.name, layer.activations)
-        decomposition = calibration.decompose(layer.activations)
+        decomposition = calibration[layer.name].decompose(layer.activations)
         breakdowns.append((sparsity_breakdown(decomposition), layer.activations.size))
         counts.append(operation_counts(decomposition))
     breakdown = aggregate_breakdowns(breakdowns)
@@ -95,6 +106,22 @@ def analyze_workload(workload: ModelWorkload, scale: ExperimentScale) -> Sparsit
         l1_density=breakdown.level1_density,
         l2_positive_density=breakdown.level2_positive_density,
         l2_negative_density=breakdown.level2_negative_density,
+        speedup_over_bit=totals.speedup_over_bit,
+        speedup_over_dense=totals.speedup_over_dense,
+    )
+
+
+def _row_from_record(record: dict) -> SparsityRow:
+    """Build one Table 4 row from a decomposition sweep record."""
+    breakdown = record["breakdown"]
+    totals = OperationCounts(**record["operation_counts"])
+    return SparsityRow(
+        model=record["model"],
+        dataset=record["dataset"],
+        bit_density=breakdown["bit_density"],
+        l1_density=breakdown["level1_density"],
+        l2_positive_density=breakdown["level2_positive_density"],
+        l2_negative_density=breakdown["level2_negative_density"],
         speedup_over_bit=totals.speedup_over_bit,
         speedup_over_dense=totals.speedup_over_dense,
     )
@@ -123,17 +150,47 @@ def run_table4(
     *,
     workloads: tuple[tuple[str, str], ...] = TABLE4_WORKLOADS,
     include_random: bool = True,
+    engine: SweepEngine | None = None,
 ) -> Table4Result:
-    """Reproduce Table 4 across the model zoo plus random matrices."""
-    result = Table4Result()
-    for model_name, dataset_name in workloads:
-        workload = get_workload(model_name, dataset_name, scale)
-        result.rows.append(analyze_workload(workload, scale))
+    """Reproduce Table 4 across the model zoo plus random matrices.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale tier.
+    workloads:
+        Model/dataset pairs to analyse.
+    include_random:
+        Append the random-matrix rows (densities ``RANDOM_DENSITIES``).
+    engine:
+        Sweep engine executing the decomposition points; defaults to a
+        serial, cache-less engine.
+
+    Returns
+    -------
+    Table4Result
+        One :class:`SparsityRow` per workload (and per random density).
+    """
+    engine = engine or default_engine()
+    specs = [
+        scale.workload_spec(model_name, dataset_name)
+        for model_name, dataset_name in workloads
+    ]
     if include_random:
-        for density in RANDOM_DENSITIES:
-            random_workload = generate_random_workload(
-                density=density, m=1024, k=128, n=64, seed=int(density * 100)
-            )
-            row = analyze_workload(random_workload, scale)
-            result.rows.append(row)
+        specs.extend(
+            WorkloadSpec.random(density, m=1024, k=128, n=64, seed=int(density * 100))
+            for density in RANDOM_DENSITIES
+        )
+    points = [
+        SweepPoint(
+            workload=spec,
+            arch=scale.arch_config(),
+            phi=scale.phi_config(),
+            accelerator=DECOMPOSITION,
+            label=f"table4:{spec.key}",
+        )
+        for spec in specs
+    ]
+    result = Table4Result()
+    result.rows.extend(_row_from_record(record) for record in engine.run(points))
     return result

@@ -1,0 +1,234 @@
+"""The report artifact: a content-addressed ``report/`` output tree.
+
+A report run produces:
+
+* ``REPRODUCTION.md`` — the human-readable reproduction report, one
+  section per experiment, pairing the paper's claim with the measured
+  numbers and the scaled-zoo caveat.
+* ``data/<hash>-<name>.json`` — one content-addressed payload file per
+  experiment section.  The hash is the SHA-256 prefix of the canonical
+  payload JSON, so unchanged results map to identical files across runs
+  and any change is visible in the file name.
+* ``figures/<name>.png`` — optional matplotlib renderings (skipped when
+  matplotlib is unavailable).
+* ``manifest.json`` — machine-readable index: experiment -> payload
+  hash/path, figure path, origin (run vs cache) and timing.
+
+Section payloads are additionally memoised in the same on-disk
+:class:`~repro.runner.ResultCache` the sweep engine uses, keyed by the
+(experiment, scale, overrides, code version) tuple — this is what makes a
+warm ``python -m repro.report`` run orders of magnitude faster than a
+cold one even for harnesses that do no simulator sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .. import __version__
+from ..experiments.registry import ExperimentSpec
+from ..runner.cache import ResultCache, cache_key
+from ..runner.engine import CACHE_SCHEMA_VERSION
+from .emitters import section_markdown
+
+#: Bump when the section payload layout changes (invalidates cached
+#: report sections, not sweep records).
+REPORT_SCHEMA_VERSION = 1
+
+#: The caveat every report carries (summarised from DESIGN.md).
+SCALED_ZOO_CAVEAT = (
+    "All numbers are measured on the *scaled model zoo* (see DESIGN.md): "
+    "each model family is implemented as a genuine spiking network but at "
+    "reduced depth/width, on synthetic datasets with the original "
+    "modality, shape and class structure.  Absolute cycles and Joules "
+    "therefore do not match the paper; the relative claims (density "
+    "trends, accelerator orderings, traffic reductions) are reproduced "
+    "from the same mechanisms."
+)
+
+
+def section_cache_key(
+    spec: ExperimentSpec,
+    scale_name: str,
+    overrides: Mapping[str, Any] | None = None,
+) -> str:
+    """Cache key of one report section.
+
+    Parameters
+    ----------
+    spec:
+        The experiment's registry entry.
+    scale_name:
+        Scale tier name the section was produced at.
+    overrides:
+        Extra harness keyword arguments (must be JSON-serialisable).
+
+    Returns
+    -------
+    str
+        SHA-256 key; any change to the experiment name, tier, overrides,
+        package version, report schema or the sweep engine's cache
+        schema yields a new key.  Hashing the engine schema in means a
+        simulator-behaviour bump (``CACHE_SCHEMA_VERSION``) invalidates
+        cached report sections together with the sweep records they were
+        computed from.
+    """
+    payload = {
+        "report_schema": REPORT_SCHEMA_VERSION,
+        "sweep_schema": CACHE_SCHEMA_VERSION,
+        "code_version": __version__,
+        "experiment": spec.name,
+        "scale": scale_name,
+        "overrides": json.loads(json.dumps(overrides or {}, sort_keys=True, default=str)),
+    }
+    return cache_key(payload)
+
+
+@dataclass
+class SectionRecord:
+    """One emitted experiment section plus its provenance."""
+
+    spec: ExperimentSpec
+    payload: dict
+    origin: str  # "run" | "cache"
+    elapsed_seconds: float
+    data_path: str | None = None
+    figure_path: str | None = None
+
+
+@dataclass
+class ReportArtifact:
+    """Writer for the content-addressed ``report/`` tree.
+
+    Parameters
+    ----------
+    root:
+        Output directory (created on write).
+    scale_name:
+        Scale tier the report was produced at.
+    command:
+        The CLI invocation recorded in the report header.
+    """
+
+    root: pathlib.Path
+    scale_name: str = "small"
+    command: str = ""
+    sections: list[SectionRecord] = field(default_factory=list)
+
+    def add_section(self, record: SectionRecord) -> None:
+        """Queue one experiment section for the next :meth:`write`."""
+        self.sections.append(record)
+
+    # ------------------------------------------------------------------ #
+    def _write_payload(self, record: SectionRecord) -> None:
+        data_dir = self.root / "data"
+        data_dir.mkdir(parents=True, exist_ok=True)
+        canonical = json.dumps(record.payload, sort_keys=True, indent=1)
+        digest = cache_key(record.payload)[:12]
+        name = f"{digest}-{record.spec.name}.json"
+        (data_dir / name).write_text(canonical + "\n")
+        record.data_path = f"data/{name}"
+
+    def _write_figure(self, record: SectionRecord) -> None:
+        from .emitters import HAVE_MATPLOTLIB, render_figure
+
+        figure = record.payload.get("figure")
+        if not HAVE_MATPLOTLIB or not figure or not figure.get("panels"):
+            return
+        figures_dir = self.root / "figures"
+        figures_dir.mkdir(parents=True, exist_ok=True)
+        path = figures_dir / f"{record.spec.name}.png"
+        if render_figure(record.payload, path):
+            record.figure_path = f"figures/{record.spec.name}.png"
+
+    def _header(self) -> list[str]:
+        lines = [
+            "# Phi (ISCA 2025) — reproduction report",
+            "",
+            "Generated by the `repro.report` pipeline"
+            + (f" (`{self.command}`)" if self.command else "")
+            + f" at scale tier `{self.scale_name}`, package version "
+            f"`{__version__}`.",
+            "",
+            f"> {SCALED_ZOO_CAVEAT}",
+            "",
+            "## Coverage",
+            "",
+            "| Experiment | Reproduces | Section | Origin | Wall time (s) |",
+            "|---|---|---|---|---|",
+        ]
+        for record in self.sections:
+            lines.append(
+                f"| [`{record.spec.name}`](#{_anchor(record.spec)}) "
+                f"| {record.spec.paper_ref} | {record.spec.section} "
+                f"| {record.origin} | {record.elapsed_seconds:.2f} |"
+            )
+        lines.append("")
+        return lines
+
+    def write(self) -> pathlib.Path:
+        """Write the full artifact tree; returns the REPRODUCTION.md path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        for record in self.sections:
+            self._write_payload(record)
+            self._write_figure(record)
+
+        lines = self._header()
+        lines.append("## Results")
+        lines.append("")
+        for record in self.sections:
+            lines.append(
+                section_markdown(
+                    record.spec,
+                    record.payload,
+                    figure_path=record.figure_path,
+                    data_path=record.data_path,
+                )
+            )
+        report_path = self.root / "REPRODUCTION.md"
+        report_path.write_text("\n".join(lines))
+
+        manifest = {
+            "schema": REPORT_SCHEMA_VERSION,
+            "code_version": __version__,
+            "scale": self.scale_name,
+            "sections": [
+                {
+                    "experiment": record.spec.name,
+                    "paper_ref": record.spec.paper_ref,
+                    "origin": record.origin,
+                    "elapsed_seconds": record.elapsed_seconds,
+                    "data": record.data_path,
+                    "figure": record.figure_path,
+                    "hash": cache_key(record.payload),
+                }
+                for record in self.sections
+            ],
+        }
+        (self.root / "manifest.json").write_text(
+            json.dumps(manifest, indent=1, sort_keys=True) + "\n"
+        )
+        return report_path
+
+
+def _anchor(spec: ExperimentSpec) -> str:
+    """GitHub anchor of one section heading (see ``section_markdown``)."""
+    from .linkcheck import slugify
+
+    return slugify(f"{spec.paper_ref} — `{spec.name}`")
+
+
+def load_section(cache: ResultCache | None, key: str) -> dict | None:
+    """Cached section payload for ``key``, or ``None`` on miss/no cache."""
+    if cache is None:
+        return None
+    return cache.get(key)
+
+
+def store_section(cache: ResultCache | None, key: str, payload: Mapping[str, Any]) -> None:
+    """Persist one section payload when a cache is configured."""
+    if cache is not None:
+        cache.put(key, payload)

@@ -1,0 +1,760 @@
+"""Emitters: harness results -> JSON payloads -> Markdown and figures.
+
+Every registered experiment has a *payload builder* that flattens its
+result object into a JSON-serialisable section payload (tables, headline
+metrics, notes, and an optional declarative figure).  Everything
+downstream — the Markdown rendering, the matplotlib figures and the
+content-addressed artifact store — works on payloads only, which is what
+lets a warm report run skip the harnesses entirely and rebuild
+``REPRODUCTION.md`` from cached JSON.
+
+Figures are optional: matplotlib is not a dependency of this package.
+When it is missing, :func:`render_figure` reports figures as
+unavailable and the report links the payload JSON instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping
+
+from ..experiments.registry import ExperimentSpec
+
+try:  # pragma: no cover - exercised only where matplotlib is installed
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    HAVE_MATPLOTLIB = True
+except ImportError:  # pragma: no cover - the common case in CI images
+    plt = None
+    HAVE_MATPLOTLIB = False
+
+#: Categorical series colors, assigned in fixed order (never cycled past
+#: the list; the grouped-bar charts here use at most 7 series).
+SERIES_COLORS = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+_SURFACE = "#fcfcfb"
+_TEXT = "#0b0b0b"
+_TEXT_SECONDARY = "#52514e"
+_GRID = "#e4e3df"
+
+
+# --------------------------------------------------------------------- #
+# Generic formatting helpers
+# --------------------------------------------------------------------- #
+def _fmt_value(value: Any) -> str:
+    """Format one table cell for Markdown."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def markdown_table(
+    rows: list[Mapping[str, Any]], columns: list[str] | None = None
+) -> str:
+    """Render a list of dictionaries as a GitHub-flavoured Markdown table.
+
+    Parameters
+    ----------
+    rows:
+        Table rows; missing keys render as ``-``.
+    columns:
+        Column order; defaults to the keys of the first row.
+
+    Returns
+    -------
+    str
+        The Markdown table, or ``*(empty table)*`` for no rows.
+    """
+    if not rows:
+        return "*(empty table)*"
+    columns = columns or list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt_value(row.get(c)) for c in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _table(title: str, rows: list[dict], columns: list[str] | None = None) -> dict:
+    return {"title": title, "rows": rows, "columns": columns or list(rows[0].keys()) if rows else []}
+
+
+def _panel(
+    title: str,
+    kind: str,
+    x: list,
+    series: list[dict],
+    *,
+    xlabel: str = "",
+    ylabel: str = "",
+    logy: bool = False,
+) -> dict:
+    """One single-axis figure panel (declarative; rendered lazily)."""
+    return {
+        "title": title,
+        "kind": kind,
+        "x": x,
+        "series": series,
+        "xlabel": xlabel,
+        "ylabel": ylabel,
+        "logy": logy,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Per-experiment payload builders
+# --------------------------------------------------------------------- #
+def _fig1_payload(result) -> dict:
+    rows = [
+        {
+            "source": summary.name,
+            "cluster_spread": summary.cluster_spread,
+            "top32_pattern_coverage": summary.pattern_coverage or None,
+            "tsne_kl_divergence": summary.embedding.kl_divergence,
+        }
+        for summary in (result.normal, result.dnn, result.snn)
+    ]
+    panels = [
+        _panel(
+            f"t-SNE: {summary.name}",
+            "scatter",
+            [float(p) for p in summary.embedding.embedding[:, 0]],
+            [
+                {
+                    "label": summary.name,
+                    "values": [float(p) for p in summary.embedding.embedding[:, 1]],
+                }
+            ],
+        )
+        for summary in (result.normal, result.dnn, result.snn)
+    ]
+    spreads = result.spreads()
+    return {
+        "tables": [_table("Clustering scores per activation source", rows)],
+        "metrics": {
+            "snn_vs_normal_spread_ratio": spreads["snn"] / spreads["normal"]
+            if spreads["normal"]
+            else 0.0,
+        },
+        "notes": [
+            "Lower cluster spread = tighter clusters; the SNN source should "
+            "have the lowest spread of the three."
+        ],
+        "figure": {"panels": panels},
+    }
+
+
+def _fig7_payload(result) -> dict:
+    tile_rows = [vars(p).copy() for p in result.tile_sweep]
+    pattern_rows = [vars(p).copy() for p in result.pattern_sweep]
+    buffer_rows = [vars(p).copy() for p in result.buffer_sweep]
+    k = [p.k_tile for p in result.tile_sweep]
+    q = [p.num_patterns for p in result.pattern_sweep]
+    kb = [p.buffer_kb for p in result.buffer_sweep]
+    panels = [
+        _panel(
+            "7a: density vs partition size",
+            "line",
+            k,
+            [
+                {"label": "element (L2)", "values": [p.element_density for p in result.tile_sweep]},
+                {"label": "vector (L1)", "values": [p.vector_density for p in result.tile_sweep]},
+                {"label": "total", "values": [p.total_density for p in result.tile_sweep]},
+            ],
+            xlabel="K tile size",
+            ylabel="density",
+        ),
+        _panel(
+            "7b: compute cycles vs partition size",
+            "line",
+            k,
+            [
+                {"label": "bit sparsity", "values": [p.bit_cycles for p in result.tile_sweep]},
+                {"label": "Phi", "values": [p.phi_cycles for p in result.tile_sweep]},
+                {"label": "optimal", "values": [p.optimal_cycles for p in result.tile_sweep]},
+            ],
+            xlabel="K tile size",
+            ylabel="normalised cycles",
+        ),
+        _panel(
+            "7c: compute cycles vs pattern count",
+            "line",
+            q,
+            [
+                {"label": "Phi", "values": [p.phi_cycles for p in result.pattern_sweep]},
+                {"label": "optimal", "values": [p.optimal_cycles for p in result.pattern_sweep]},
+            ],
+            xlabel="patterns per partition (q)",
+            ylabel="normalised cycles",
+        ),
+        _panel(
+            "7c: PWP memory vs pattern count",
+            "line",
+            q,
+            [{"label": "PWP bytes", "values": [p.pwp_memory_bytes for p in result.pattern_sweep]}],
+            xlabel="patterns per partition (q)",
+            ylabel="PWP DRAM bytes",
+        ),
+        _panel(
+            "7d: power vs buffer size",
+            "line",
+            kb,
+            [
+                {"label": "DRAM power", "values": [p.dram_power for p in result.buffer_sweep]},
+                {"label": "buffer power", "values": [p.buffer_power for p in result.buffer_sweep]},
+            ],
+            xlabel="buffer size (KiB)",
+            ylabel="power (W / mW, model units)",
+        ),
+        _panel(
+            "7d: buffer area vs buffer size",
+            "line",
+            kb,
+            [{"label": "buffer area", "values": [p.buffer_area for p in result.buffer_sweep]}],
+            xlabel="buffer size (KiB)",
+            ylabel="area (mm^2)",
+        ),
+    ]
+    return {
+        "tables": [
+            _table("Fig. 7a/b: K tile-size sweep", tile_rows),
+            _table("Fig. 7c: pattern-count sweep", pattern_rows),
+            _table("Fig. 7d: buffer-size sweep", buffer_rows),
+        ],
+        "metrics": {"best_tile_size": result.best_tile_size()},
+        "notes": [],
+        "figure": {"panels": panels},
+    }
+
+
+def _fig8_payload(result) -> dict:
+    accelerators = sorted(
+        {name for c in result.comparisons for name in c.speedup},
+        key=lambda name: ("phi" in name, name),
+    )
+    speedup_rows = []
+    energy_rows = []
+    for comparison in result.comparisons:
+        speedup_rows.append(
+            {"workload": comparison.key, **{a: comparison.speedup.get(a) for a in accelerators}}
+        )
+        energy_rows.append(
+            {"workload": comparison.key, **{a: comparison.energy.get(a) for a in accelerators}}
+        )
+    speedup_rows.append({"workload": "**geomean**", **result.geomean_speedup()})
+    energy_rows.append({"workload": "**geomean**", **result.geomean_energy()})
+    workloads = [c.key for c in result.comparisons]
+    panels = [
+        _panel(
+            "Speedup (vs Spiking Eyeriss)",
+            "grouped_bar",
+            workloads,
+            [
+                {"label": a, "values": [c.speedup.get(a, 0.0) for c in result.comparisons]}
+                for a in accelerators
+            ],
+            ylabel="speedup",
+        ),
+        _panel(
+            "Energy (normalised to Phi w/o PAFT)",
+            "grouped_bar",
+            workloads,
+            [
+                {"label": a, "values": [c.energy.get(a, 0.0) for c in result.comparisons]}
+                for a in accelerators
+            ],
+            ylabel="normalised energy",
+            logy=True,
+        ),
+    ]
+    geo = result.geomean_speedup()
+    return {
+        "tables": [
+            _table("Speedup, normalised to Spiking Eyeriss", speedup_rows),
+            _table("Energy, normalised to Phi without PAFT", energy_rows),
+        ],
+        "metrics": {
+            "geomean_speedup_phi": geo.get("phi"),
+            "geomean_speedup_phi_paft": geo.get("phi_paft"),
+        },
+        "notes": [],
+        "figure": {"panels": panels},
+    }
+
+
+def _fig9_payload(result) -> dict:
+    def stat_row(label: str, stats) -> dict:
+        return {
+            "variant": label,
+            "unique_rows": stats.num_unique_rows,
+            "top_pattern_coverage": stats.top_pattern_coverage,
+            "mean_distance_to_center": stats.mean_distance_to_center,
+            "normalized_cluster_score": stats.normalized_cluster_score,
+        }
+
+    rows = [
+        stat_row("without PAFT", result.stats_without_paft),
+        stat_row("with PAFT", result.stats_with_paft),
+    ]
+    panels = [
+        _panel(
+            "Cluster tightness with and without PAFT",
+            "bar",
+            ["without PAFT", "with PAFT"],
+            [
+                {
+                    "label": "mean distance to centre",
+                    "values": [
+                        result.stats_without_paft.mean_distance_to_center,
+                        result.stats_with_paft.mean_distance_to_center,
+                    ],
+                }
+            ],
+            ylabel="mean distance to cluster centre",
+        )
+    ]
+    return {
+        "tables": [_table("Clustering statistics", rows)],
+        "metrics": {
+            "train_test_overlap": result.train_test_overlap,
+            "clustering_improved": result.clustering_improved,
+        },
+        "notes": [],
+        "figure": {"panels": panels},
+    }
+
+
+def _fig10_payload(result) -> dict:
+    rows = [
+        {
+            "workload": f"{p.model}/{p.dataset}",
+            "density_without_paft": p.density_without_paft,
+            "density_with_paft": p.density_with_paft,
+            "improvement": p.improvement,
+        }
+        for p in result.pairs
+    ]
+    labels = [f"{p.model}/{p.dataset}" for p in result.pairs]
+    panels = [
+        _panel(
+            "Level 2 element density",
+            "grouped_bar",
+            labels,
+            [
+                {"label": "without PAFT", "values": [p.density_without_paft for p in result.pairs]},
+                {"label": "with PAFT", "values": [p.density_with_paft for p in result.pairs]},
+            ],
+            ylabel="element density",
+        )
+    ]
+    mean_improvement = (
+        sum(p.improvement for p in result.pairs) / len(result.pairs)
+        if result.pairs
+        else 0.0
+    )
+    return {
+        "tables": [_table("Element density with and without PAFT", rows)],
+        "metrics": {"mean_density_improvement": mean_improvement},
+        "notes": [],
+        "figure": {"panels": panels},
+    }
+
+
+def _fig11_payload(result) -> dict:
+    rows = [vars(r).copy() for r in result.rows]
+    labels = [f"{r.model}/{r.dataset}" for r in result.rows]
+    schemes = [
+        ("dnn_accuracy", "DNN"),
+        ("bit_sparsity_accuracy", "bit sparsity"),
+        ("phi_without_paft_accuracy", "Phi w/o PAFT"),
+        ("phi_with_paft_accuracy", "Phi w/ PAFT"),
+    ]
+    panels = [
+        _panel(
+            "Test accuracy per scheme",
+            "grouped_bar",
+            labels,
+            [
+                {"label": label, "values": [getattr(r, attr) for r in result.rows]}
+                for attr, label in schemes
+            ],
+            ylabel="accuracy",
+        )
+    ]
+    return {
+        "tables": [_table("Accuracy comparison", rows)],
+        "metrics": {
+            "all_lossless_verified": all(r.lossless_verified for r in result.rows),
+            "max_paft_drop": max((r.paft_drop for r in result.rows), default=0.0),
+        },
+        "notes": [
+            "The lossless property is verified exactly: decomposed GEMM "
+            "outputs are compared logit-level against the reference."
+        ],
+        "figure": {"panels": panels},
+    }
+
+
+def _fig12_payload(result) -> dict:
+    rows = []
+    for r in result.rows:
+        rows.append(
+            {
+                "workload": f"{r.model}/{r.dataset}",
+                "act_dense": r.activation.dense,
+                "act_phi_uncompressed": r.activation.phi_uncompressed,
+                "act_phi_compressed": r.activation.phi_compressed,
+                "w_dense": r.weight.dense,
+                "w_phi_no_prefetch": r.weight.phi_without_prefetch,
+                "w_phi_prefetch": r.weight.phi_with_prefetch,
+            }
+        )
+    labels = [f"{r.model}/{r.dataset}" for r in result.rows]
+    without, with_prefetch = result.geomean_weight_ratios()
+    panels = [
+        _panel(
+            "Activation DRAM traffic",
+            "grouped_bar",
+            labels,
+            [
+                {"label": "dense", "values": [r.activation.dense for r in result.rows]},
+                {
+                    "label": "Phi uncompressed",
+                    "values": [r.activation.phi_uncompressed for r in result.rows],
+                },
+                {
+                    "label": "Phi compressed",
+                    "values": [r.activation.phi_compressed for r in result.rows],
+                },
+            ],
+            ylabel="bytes",
+        ),
+        _panel(
+            "Weight + PWP DRAM traffic",
+            "grouped_bar",
+            labels,
+            [
+                {"label": "dense", "values": [r.weight.dense for r in result.rows]},
+                {
+                    "label": "Phi w/o prefetch",
+                    "values": [r.weight.phi_without_prefetch for r in result.rows],
+                },
+                {
+                    "label": "Phi w/ prefetch",
+                    "values": [r.weight.phi_with_prefetch for r in result.rows],
+                },
+            ],
+            ylabel="bytes",
+        ),
+    ]
+    return {
+        "tables": [_table("DRAM traffic (bytes)", rows)],
+        "metrics": {
+            "geomean_activation_compressed_ratio": result.geomean_activation_ratio(),
+            "geomean_weight_ratio_without_prefetch": without,
+            "geomean_weight_ratio_with_prefetch": with_prefetch,
+        },
+        "notes": [],
+        "figure": {"panels": panels},
+    }
+
+
+def _table2_payload(result) -> dict:
+    rows = result.as_dicts()
+    return {
+        "tables": [
+            _table(
+                f"Accelerator comparison on {result.model_name}/"
+                f"{result.dataset_name}",
+                rows,
+            )
+        ],
+        "metrics": {
+            "phi_speedup_vs_eyeriss": result.row("phi").speedup_vs_eyeriss,
+            "phi_area_mm2": result.row("phi").area_mm2,
+        },
+        "notes": [],
+        "figure": None,
+    }
+
+
+def _table3_payload(result) -> dict:
+    return {
+        "tables": [_table("Area / power breakdown", result.as_dicts())],
+        "metrics": {
+            "total_area_mm2": result.total_area_mm2,
+            "total_power_mw": result.total_power_mw,
+        },
+        "notes": [],
+        "figure": None,
+    }
+
+
+def _table4_payload(result) -> dict:
+    return {
+        "tables": [_table("Sparsity breakdown", result.as_dicts())],
+        "metrics": {
+            "min_speedup_over_bit": min(
+                (r.speedup_over_bit for r in result.rows), default=0.0
+            ),
+        },
+        "notes": [
+            "Random rows use unstructured binary matrices of the stated "
+            "density; SNN rows should beat them at comparable density."
+        ],
+        "figure": None,
+    }
+
+
+def _discussion_payload(result) -> dict:
+    rows = [
+        {
+            "workload": f"{r.model}/{r.dataset}",
+            "preprocessing_energy_J": r.preprocessing_energy,
+            "saved_accumulation_energy_J": r.saved_accumulation_energy,
+            "benefit_cost_ratio": r.benefit_cost_ratio,
+        }
+        for r in result.rows
+    ]
+    panels = [
+        _panel(
+            "Preprocessing benefit / cost ratio",
+            "bar",
+            [f"{r.model}/{r.dataset}" for r in result.rows],
+            [
+                {
+                    "label": "benefit / cost",
+                    "values": [r.benefit_cost_ratio for r in result.rows],
+                }
+            ],
+            ylabel="ratio",
+            logy=True,
+        )
+    ]
+    return {
+        "tables": [_table("Preprocessing benefit vs cost", rows)],
+        "metrics": {"average_benefit_cost_ratio": result.average_ratio()},
+        "notes": [],
+        "figure": {"panels": panels},
+    }
+
+
+#: Payload builder per registered experiment name.
+PAYLOAD_BUILDERS: dict[str, Callable[[Any], dict]] = {
+    "fig1": _fig1_payload,
+    "fig7": _fig7_payload,
+    "fig8": _fig8_payload,
+    "fig9": _fig9_payload,
+    "fig10": _fig10_payload,
+    "fig11": _fig11_payload,
+    "fig12": _fig12_payload,
+    "table2": _table2_payload,
+    "table3": _table3_payload,
+    "table4": _table4_payload,
+    "discussion": _discussion_payload,
+}
+
+
+def build_payload(spec: ExperimentSpec, result: Any) -> dict:
+    """Flatten one harness result into its JSON section payload.
+
+    Parameters
+    ----------
+    spec:
+        The experiment's registry entry.
+    result:
+        The object returned by the harness entry point.
+
+    Returns
+    -------
+    dict
+        JSON-serialisable payload: ``tables`` (titled row lists),
+        ``metrics`` (headline scalars), ``notes`` and an optional
+        declarative ``figure``.
+    """
+    builder = PAYLOAD_BUILDERS[spec.name]
+    payload = builder(result)
+    payload["experiment"] = spec.name
+    return payload
+
+
+# --------------------------------------------------------------------- #
+# Markdown rendering
+# --------------------------------------------------------------------- #
+def section_markdown(
+    spec: ExperimentSpec,
+    payload: Mapping[str, Any],
+    *,
+    figure_path: str | None = None,
+    data_path: str | None = None,
+) -> str:
+    """Render one experiment section of ``REPRODUCTION.md``.
+
+    Parameters
+    ----------
+    spec:
+        Registry entry (claim, paper reference).
+    payload:
+        The section payload from :func:`build_payload` (possibly loaded
+        from cache).
+    figure_path, data_path:
+        Report-relative paths of the rendered figure and the payload
+        JSON, when they exist.
+    """
+    lines = [f"### {spec.paper_ref} — `{spec.name}`", ""]
+    lines.append(f"**Paper claim ({spec.section}):** {spec.claim}")
+    lines.append("")
+    metrics = payload.get("metrics") or {}
+    if metrics:
+        lines.append(
+            "**Measured:** "
+            + "; ".join(f"{key} = {_fmt_value(value)}" for key, value in metrics.items())
+        )
+        lines.append("")
+    for table in payload.get("tables", []):
+        lines.append(f"**{table['title']}**")
+        lines.append("")
+        lines.append(markdown_table(table["rows"], table.get("columns") or None))
+        lines.append("")
+    for note in payload.get("notes", []):
+        lines.append(f"> {note}")
+        lines.append("")
+    if figure_path:
+        lines.append(f"![{spec.name}]({figure_path})")
+        lines.append("")
+    if data_path:
+        lines.append(f"Raw data: [`{data_path}`]({data_path})")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Figure rendering (matplotlib, optional)
+# --------------------------------------------------------------------- #
+def _style_axis(ax) -> None:
+    ax.set_facecolor(_SURFACE)
+    for spine in ("top", "right"):
+        ax.spines[spine].set_visible(False)
+    for spine in ("left", "bottom"):
+        ax.spines[spine].set_color(_GRID)
+    ax.tick_params(colors=_TEXT_SECONDARY, labelsize=8)
+    ax.grid(True, axis="y", color=_GRID, linewidth=0.6)
+    ax.set_axisbelow(True)
+
+
+def _render_panel(ax, panel: Mapping[str, Any]) -> None:
+    kind = panel["kind"]
+    x = panel["x"]
+    series = panel["series"]
+    if kind == "line":
+        for i, item in enumerate(series):
+            ax.plot(
+                x,
+                item["values"],
+                color=SERIES_COLORS[i % len(SERIES_COLORS)],
+                linewidth=2,
+                marker="o",
+                markersize=4,
+                label=item["label"],
+            )
+    elif kind == "scatter":
+        for i, item in enumerate(series):
+            ax.scatter(
+                x,
+                item["values"],
+                s=10,
+                color=SERIES_COLORS[i % len(SERIES_COLORS)],
+                label=item["label"],
+                edgecolors="none",
+                alpha=0.8,
+            )
+        ax.grid(False)
+    elif kind in ("bar", "grouped_bar"):
+        positions = range(len(x))
+        width = 0.8 / max(len(series), 1)
+        for i, item in enumerate(series):
+            offsets = [p + i * width - 0.4 + width / 2 for p in positions]
+            ax.bar(
+                offsets,
+                item["values"],
+                width=width * 0.9,
+                color=SERIES_COLORS[i % len(SERIES_COLORS)],
+                label=item["label"],
+                edgecolor=_SURFACE,
+                linewidth=0.5,
+            )
+        ax.set_xticks(list(positions))
+        ax.set_xticklabels([str(v) for v in x], rotation=30, ha="right", fontsize=7)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown panel kind {kind!r}")
+    if panel.get("logy"):
+        ax.set_yscale("log")
+    ax.set_title(panel["title"], fontsize=9, color=_TEXT)
+    ax.set_xlabel(panel.get("xlabel", ""), fontsize=8, color=_TEXT_SECONDARY)
+    ax.set_ylabel(panel.get("ylabel", ""), fontsize=8, color=_TEXT_SECONDARY)
+    if len(series) > 1:
+        ax.legend(fontsize=7, frameon=False, labelcolor=_TEXT_SECONDARY)
+
+
+def render_figure(payload: Mapping[str, Any], path) -> bool:
+    """Render a payload's declarative figure to ``path`` (PNG).
+
+    Parameters
+    ----------
+    payload:
+        A section payload whose ``figure`` entry holds panel specs.
+    path:
+        Output file path.
+
+    Returns
+    -------
+    bool
+        ``True`` when a figure was written; ``False`` when the payload
+        has no figure or matplotlib is unavailable.
+    """
+    figure = payload.get("figure")
+    if not figure or not figure.get("panels") or not HAVE_MATPLOTLIB:
+        return False
+    panels = figure["panels"]
+    columns = min(len(panels), 3)
+    rows = math.ceil(len(panels) / columns)
+    fig, axes = plt.subplots(
+        rows, columns, figsize=(4.2 * columns, 3.2 * rows), squeeze=False
+    )
+    fig.patch.set_facecolor(_SURFACE)
+    flat = [ax for row in axes for ax in row]
+    for ax in flat[len(panels):]:
+        ax.set_visible(False)
+    for ax, panel in zip(flat, panels):
+        _style_axis(ax)
+        _render_panel(ax, panel)
+    fig.tight_layout()
+    fig.savefig(path, dpi=140)
+    plt.close(fig)
+    return True

@@ -1,0 +1,97 @@
+"""Self-contained Markdown link checker for the repo's documentation.
+
+Checks every inline Markdown link in the given files:
+
+* relative file links must point at an existing file or directory
+  (resolved against the containing file's directory),
+* in-document ``#anchor`` links must match a heading of the same file
+  (GitHub slug rules, approximated the same way the report generator
+  builds its anchors),
+* ``http(s)``/``mailto`` links are skipped (no network access in CI).
+
+Usage::
+
+    python -m repro.report.linkcheck README.md DESIGN.md report/REPRODUCTION.md
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline Markdown links: [text](target) — images included via the ! prefix.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    text = heading.strip().lower()
+    text = "".join(c for c in text if c.isalnum() or c in " -")
+    return text.replace(" ", "-")
+
+
+def document_anchors(text: str) -> set[str]:
+    """All heading anchors defined by a Markdown document."""
+    return {slugify(match.group(1)) for match in _HEADING_RE.finditer(text)}
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """Check one Markdown file; returns a list of error strings.
+
+    Parameters
+    ----------
+    path:
+        The Markdown file to scan.
+
+    Returns
+    -------
+    list of str
+        One ``file: message`` entry per broken link (empty = clean).
+    """
+    errors: list[str] = []
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    anchors = document_anchors(text)
+    scannable = _CODE_FENCE_RE.sub("", text)
+    for match in _LINK_RE.finditer(scannable):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                errors.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target!r} -> {resolved}")
+            continue
+        if anchor and resolved.is_file() and resolved.suffix == ".md":
+            if slugify(anchor) not in document_anchors(resolved.read_text()):
+                errors.append(f"{path}: broken anchor {target!r}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Check every file given on the command line; 1 on any broken link."""
+    paths = [pathlib.Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        print("usage: python -m repro.report.linkcheck FILE.md [FILE.md ...]")
+        return 2
+    errors: list[str] = []
+    for path in paths:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"linkcheck: {len(paths)} files OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,13 +38,34 @@ def default_cache_dir() -> pathlib.Path:
 
 
 def cache_key(payload: Mapping[str, Any]) -> str:
-    """SHA-256 of the canonical JSON encoding of ``payload``."""
+    """SHA-256 of the canonical JSON encoding of ``payload``.
+
+    Parameters
+    ----------
+    payload:
+        Any JSON-serialisable mapping; key order does not matter (keys
+        are sorted before hashing).
+
+    Returns
+    -------
+    str
+        64-character lowercase hex digest.
+    """
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class ResultCache:
-    """A directory of content-addressed JSON records."""
+    """A directory of content-addressed JSON records.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on the first ``put``); defaults
+        to :func:`default_cache_dir`.  Both the sweep engine's point
+        records and the report pipeline's section payloads live here,
+        under disjoint content-hash keys.
+    """
 
     def __init__(self, root: pathlib.Path | str | None = None) -> None:
         self.root = pathlib.Path(root) if root is not None else default_cache_dir()

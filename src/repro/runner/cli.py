@@ -7,13 +7,18 @@ cache (the second invocation is served almost entirely from cache)::
 
     python -m repro.runner fig7 --scale small --jobs 4
 
-Other figures and a generic grid sweep::
+Other figures, any registered experiment, and a generic grid sweep::
 
     python -m repro.runner fig8 --jobs 4
     python -m repro.runner fig12
+    python -m repro.runner exp table4 --scale tiny --jobs 4
     python -m repro.runner sweep --model vgg16 --dataset cifar100 \
         --patterns 8,16,32,64 --jobs 4
     python -m repro.runner cache --clear
+
+``exp`` accepts every name in the experiment registry
+(:mod:`repro.experiments.registry`); the full multi-experiment report is
+``python -m repro.report``.
 """
 
 from __future__ import annotations
@@ -27,9 +32,9 @@ from .engine import SweepEngine, SweepPoint, WorkloadSpec
 
 
 def _scale(name: str):
-    from ..experiments.common import PAPER, SMALL, TINY
+    from ..experiments.common import SCALE_TIERS
 
-    return {"tiny": TINY, "small": SMALL, "paper": PAPER}[name]
+    return SCALE_TIERS[name]
 
 
 def _engine_from_args(args: argparse.Namespace) -> SweepEngine:
@@ -38,9 +43,11 @@ def _engine_from_args(args: argparse.Namespace) -> SweepEngine:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    from ..experiments.common import SCALE_TIERS
+
     parser.add_argument(
         "--scale",
-        choices=("tiny", "small", "paper"),
+        choices=tuple(SCALE_TIERS),
         default="small",
         help="experiment scale (default: small)",
     )
@@ -109,6 +116,20 @@ def _cmd_fig12(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_exp(args: argparse.Namespace) -> int:
+    from ..experiments.registry import get_experiment
+    from ..report.emitters import build_payload, section_markdown
+
+    spec = get_experiment(args.name)
+    engine = _engine_from_args(args)
+    start = time.perf_counter()
+    result = spec.run(args.scale, engine=engine)
+    elapsed = time.perf_counter() - start
+    print(section_markdown(spec, build_payload(spec, result)))
+    _report(engine, elapsed)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from ..experiments.common import format_table
 
@@ -159,6 +180,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.runner`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.runner",
         description="Parallel, cached sweeps over the Phi simulator.",
@@ -180,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
                 help="run the paper's full 12-workload list",
             )
 
+    p = sub.add_parser("exp", help="run any registered experiment by name")
+    p.add_argument("name", help="experiment name (see python -m repro.report --list)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_exp)
+
     p = sub.add_parser("sweep", help="generic pattern-count grid sweep")
     _add_common(p)
     p.add_argument("--model", default="vgg16")
@@ -199,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the selected subcommand."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

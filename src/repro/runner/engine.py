@@ -22,9 +22,10 @@ from __future__ import annotations
 import sys
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
-from ..baselines.registry import BASELINE_CLASSES, get_baseline
+from ..baselines.registry import BASELINE_CLASSES, PhiAccelerator, get_baseline
 from ..core.calibration import ModelCalibration, PhiCalibrator
 from ..core.config import PhiConfig
 from ..core.metrics import (
@@ -37,7 +38,7 @@ from ..core.paft import ActivationAligner
 from ..hw.config import ArchConfig
 from ..hw.energy import PhiEnergyModel
 from ..hw.simulator import PhiSimulator, SimulationResult
-from ..workloads.generator import cached_workload
+from ..workloads.generator import cached_workload, generate_random_workload
 from ..workloads.workload import LayerWorkload, ModelWorkload
 from .cache import ResultCache, cache_key
 
@@ -45,7 +46,9 @@ from .cache import ResultCache, cache_key
 #: result-affecting simulator/calibration behaviour.  The package version
 #: is also hashed into every key (see :meth:`SweepPoint.cache_payload`),
 #: so releases invalidate the cache even when this stays constant.
-CACHE_SCHEMA_VERSION = 1
+#: v2: per-layer operation counts + pattern-match comparisons, efficiency
+#: and area fields (the report pipeline consumes these).
+CACHE_SCHEMA_VERSION = 2
 
 #: Accelerator name for the decomposition-only density/op-count analysis
 #: used by the Fig. 7a/b tile-size sweep (no cycle-level simulation).
@@ -56,9 +59,23 @@ DECOMPOSITION = "phi_decomposition"
 class WorkloadSpec:
     """Everything needed to regenerate a workload deterministically.
 
-    ``paft_strength`` selects the post-PAFT variant: the activations are
-    aligned towards the patterns calibrated on the *original* workload,
-    mirroring :func:`repro.experiments.fig8.apply_paft_to_workload`.
+    Parameters
+    ----------
+    model, dataset:
+        Model-zoo and dataset names (``repro.workloads.generate_workload``
+        arguments), or the special pair produced by :meth:`random` for the
+        unstructured random matrices of Table 4.
+    batch_size, num_steps, split, seed:
+        Forwarded to the workload generator.
+    paft_strength:
+        When set, selects the post-PAFT variant: the activations are
+        aligned towards the patterns calibrated on the *original* workload,
+        mirroring :func:`repro.experiments.fig8.apply_paft_to_workload`.
+    paft_seed:
+        Seed of the PAFT alignment sampling.
+    density, dims:
+        Only for random workloads (see :meth:`random`): the probability of
+        a 1 bit and the ``(m, k, n)`` GEMM dimensions.
     """
 
     model: str
@@ -69,6 +86,55 @@ class WorkloadSpec:
     seed: int = 0
     paft_strength: float | None = None
     paft_seed: int = 0
+    density: float | None = None
+    dims: tuple[int, int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.is_random and (self.density is None or self.dims is None):
+            raise ValueError(
+                "random workload specs need density and dims; "
+                "build them with WorkloadSpec.random()"
+            )
+
+    @classmethod
+    def random(
+        cls,
+        density: float,
+        *,
+        m: int = 512,
+        k: int = 128,
+        n: int = 64,
+        seed: int = 0,
+    ) -> "WorkloadSpec":
+        """Spec for a random binary workload (Table 4 "Random" rows).
+
+        Parameters
+        ----------
+        density:
+            Probability of a 1 at each activation position.
+        m, k, n:
+            GEMM dimensions of the single random layer.
+        seed:
+            RNG seed of the random matrices.
+
+        Returns
+        -------
+        WorkloadSpec
+            A spec whose ``dataset`` is ``"random"``; workers regenerate
+            the matrices from ``(density, dims, seed)`` deterministically.
+        """
+        return cls(
+            model=f"random{int(density * 100)}",
+            dataset="random",
+            seed=seed,
+            density=density,
+            dims=(m, k, n),
+        )
+
+    @property
+    def is_random(self) -> bool:
+        """Whether this spec describes a random binary workload."""
+        return self.dataset == "random"
 
     @property
     def key(self) -> str:
@@ -86,6 +152,8 @@ class WorkloadSpec:
             "seed": self.seed,
             "paft_strength": self.paft_strength,
             "paft_seed": self.paft_seed,
+            "density": self.density,
+            "dims": list(self.dims) if self.dims is not None else None,
         }
 
 
@@ -149,6 +217,20 @@ def calibration_for(workload: ModelWorkload, config: PhiConfig) -> ModelCalibrat
     workload object itself (keyed by the frozen ``PhiConfig``); every
     sweep point and experiment that shares the workload instance then
     shares one calibration instead of recomputing it per point.
+
+    Parameters
+    ----------
+    workload:
+        The workload whose binary activation matrices are calibrated.
+        Treated as read-only apart from the attached memo.
+    config:
+        Algorithm configuration (partition size, pattern count,
+        calibration sample count).
+
+    Returns
+    -------
+    ModelCalibration
+        Per-layer calibrated patterns, shared across callers.
     """
     memo = getattr(workload, "_phi_calibration_cache", None)
     if memo is None:
@@ -161,6 +243,9 @@ def calibration_for(workload: ModelWorkload, config: PhiConfig) -> ModelCalibrat
 
 
 def _base_workload(spec: WorkloadSpec) -> ModelWorkload:
+    if spec.is_random:
+        m, k, n = spec.dims
+        return _random_workload(spec.density, m, k, n, spec.seed, spec.model)
     return cached_workload(
         spec.model,
         spec.dataset,
@@ -168,6 +253,16 @@ def _base_workload(spec: WorkloadSpec) -> ModelWorkload:
         num_steps=spec.num_steps,
         seed=spec.seed,
         split=spec.split,
+    )
+
+
+@lru_cache(maxsize=16)
+def _random_workload(
+    density: float, m: int, k: int, n: int, seed: int, name: str
+) -> ModelWorkload:
+    """Memoised random workloads (same sharing semantics as ``cached_workload``)."""
+    return generate_random_workload(
+        density=density, m=m, k=k, n=n, seed=seed, name=name
     )
 
 
@@ -212,8 +307,31 @@ def _resolve_workload(point: SweepPoint) -> ModelWorkload:
 # --------------------------------------------------------------------- #
 # Record construction
 # --------------------------------------------------------------------- #
+def _counts_dict(ops) -> dict:
+    return {
+        "dense_ops": ops.dense_ops,
+        "bit_sparse_ops": ops.bit_sparse_ops,
+        "phi_level1_ops": ops.phi_level1_ops,
+        "phi_level2_ops": ops.phi_level2_ops,
+    }
+
+
 def summarize_simulation(result: SimulationResult) -> dict:
-    """Flatten a Phi :class:`SimulationResult` into a JSON-friendly record."""
+    """Flatten a Phi :class:`SimulationResult` into a JSON-friendly record.
+
+    Parameters
+    ----------
+    result:
+        The cycle-level simulation outcome to flatten.
+
+    Returns
+    -------
+    dict
+        JSON-serialisable record with aggregate metrics plus one entry per
+        layer (cycles, traffic, operation counts, pattern-match
+        comparisons) — the layout cached by the sweep engine and consumed
+        by the experiment harnesses and the report pipeline.
+    """
     ops = result.aggregate_operations()
     breakdown = result.aggregate_breakdown()
     energy = result.energy
@@ -223,14 +341,10 @@ def summarize_simulation(result: SimulationResult) -> dict:
         "total_operations": result.total_operations,
         "throughput_gops": result.throughput_gops,
         "energy_joules": result.energy_joules,
+        "energy_efficiency_gops_per_joule": result.energy_efficiency_gops_per_joule,
         "energy": {"core": energy.core, "buffer": energy.buffer, "dram": energy.dram},
         "total_dram_bytes": result.total_dram_bytes,
-        "operation_counts": {
-            "dense_ops": ops.dense_ops,
-            "bit_sparse_ops": ops.bit_sparse_ops,
-            "phi_level1_ops": ops.phi_level1_ops,
-            "phi_level2_ops": ops.phi_level2_ops,
-        },
+        "operation_counts": _counts_dict(ops),
         "breakdown": breakdown.as_dict(),
         "layers": [
             {
@@ -249,6 +363,8 @@ def summarize_simulation(result: SimulationResult) -> dict:
                 "output_bytes": layer.output_bytes,
                 "psum_spill_bytes": layer.psum_spill_bytes,
                 "dram_bytes": layer.dram_bytes,
+                "pattern_match_comparisons": layer.pattern_match_comparisons,
+                "operation_counts": _counts_dict(layer.operation_counts),
             }
             for layer in result.layers
         ],
@@ -268,7 +384,12 @@ def _phi_record(point: SweepPoint) -> dict:
     energy_model = PhiEnergyModel(point.arch, buffer_scale=point.buffer_scale)
     simulator = PhiSimulator(point.arch, point.phi, energy_model=energy_model)
     result = simulator.run(workload, calibration=calibration)
-    return summarize_simulation(result)
+    record = summarize_simulation(result)
+    record["area_mm2"] = PhiAccelerator.area_mm2
+    record["area_efficiency_gops_per_mm2"] = (
+        record["throughput_gops"] / record["area_mm2"] if record["area_mm2"] else 0.0
+    )
+    return record
 
 
 def _decomposition_record(point: SweepPoint) -> dict:
@@ -307,9 +428,11 @@ def _baseline_record(point: SweepPoint) -> dict:
         "total_operations": report.total_operations,
         "throughput_gops": report.throughput_gops,
         "energy_joules": report.energy_joules,
+        "energy_efficiency_gops_per_joule": report.energy_efficiency_gops_per_joule,
         "energy": report.energy_breakdown(),
         "total_dram_bytes": report.total_dram_bytes,
         "area_mm2": report.area_mm2,
+        "area_efficiency_gops_per_mm2": report.area_efficiency_gops_per_mm2,
     }
 
 
@@ -392,6 +515,16 @@ class SweepEngine:
 
         Points with identical cache keys within one batch are executed
         once and the record is shared across their result slots.
+
+        Parameters
+        ----------
+        points:
+            The sweep grid to execute.
+
+        Returns
+        -------
+        list of dict
+            One JSON-friendly record per input point, in input order.
         """
         points = list(points)
         self.stats.requested += len(points)

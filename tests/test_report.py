@@ -1,0 +1,166 @@
+"""End-to-end and unit tests for the reproduction-report pipeline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import REGISTRY, get_experiment
+from repro.report import markdown_table, section_cache_key
+from repro.report.cli import main as report_main
+from repro.report.linkcheck import check_file, slugify
+
+
+class TestMarkdownTable:
+    def test_renders_rows_and_missing_cells(self):
+        text = markdown_table([{"a": 1, "b": 0.5}, {"a": 2}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[2] == "| 1 | 0.5 |"
+        assert lines[3] == "| 2 | - |"
+
+    def test_empty(self):
+        assert "empty" in markdown_table([])
+
+    def test_column_selection(self):
+        text = markdown_table([{"a": 1, "b": 2}], columns=["b"])
+        assert text.splitlines()[0] == "| b |"
+
+
+class TestSectionCacheKey:
+    def test_key_depends_on_experiment_and_scale(self):
+        fig7 = get_experiment("fig7")
+        table3 = get_experiment("table3")
+        assert section_cache_key(fig7, "tiny") != section_cache_key(table3, "tiny")
+        assert section_cache_key(fig7, "tiny") != section_cache_key(fig7, "small")
+
+    def test_key_depends_on_overrides(self):
+        fig7 = get_experiment("fig7")
+        assert section_cache_key(fig7, "tiny") != section_cache_key(
+            fig7, "tiny", {"tile_sizes": (8,)}
+        )
+
+
+class TestReportEndToEnd:
+    @pytest.fixture(scope="class")
+    def report_dir(self, tmp_path_factory):
+        """One cold TINY-scale report over the full registry."""
+        root = tmp_path_factory.mktemp("report-e2e")
+        out = root / "report"
+        code = report_main(
+            [
+                "--scale",
+                "tiny",
+                "--cache-dir",
+                str(root / "cache"),
+                "--output",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        return root
+
+    def test_every_registered_experiment_appears(self, report_dir):
+        text = (report_dir / "report" / "REPRODUCTION.md").read_text()
+        for spec in REGISTRY:
+            assert f"`{spec.name}`" in text, spec.name
+            assert spec.paper_ref in text, spec.name
+            assert spec.claim in text, spec.name
+
+    def test_every_section_has_nonempty_results(self, report_dir):
+        manifest = json.loads(
+            (report_dir / "report" / "manifest.json").read_text()
+        )
+        assert len(manifest["sections"]) == len(REGISTRY)
+        for section in manifest["sections"]:
+            payload = json.loads(
+                (report_dir / "report" / section["data"]).read_text()
+            )
+            assert payload["tables"], section["experiment"]
+            assert payload["tables"][0]["rows"], section["experiment"]
+
+    def test_data_files_are_content_addressed(self, report_dir):
+        manifest = json.loads(
+            (report_dir / "report" / "manifest.json").read_text()
+        )
+        for section in manifest["sections"]:
+            digest = section["data"].split("/")[1].split("-")[0]
+            assert section["hash"].startswith(digest)
+
+    def test_report_links_are_valid(self, report_dir):
+        errors = check_file(report_dir / "report" / "REPRODUCTION.md")
+        assert errors == []
+
+    def test_warm_rerun_comes_entirely_from_cache(self, report_dir):
+        out = report_dir / "rerun"
+        code = report_main(
+            [
+                "--scale",
+                "tiny",
+                "--cache-dir",
+                str(report_dir / "cache"),
+                "--output",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        origins = {s["experiment"]: s["origin"] for s in manifest["sections"]}
+        assert set(origins.values()) == {"cache"}, origins
+        # Identical payloads => identical content-addressed file names.
+        cold = json.loads((report_dir / "report" / "manifest.json").read_text())
+        assert [s["data"] for s in manifest["sections"]] == [
+            s["data"] for s in cold["sections"]
+        ]
+
+    def test_only_subset(self, report_dir):
+        out = report_dir / "subset"
+        code = report_main(
+            [
+                "--scale",
+                "tiny",
+                "--only",
+                "table3,fig9",
+                "--cache-dir",
+                str(report_dir / "cache"),
+                "--output",
+                str(out),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert [s["experiment"] for s in manifest["sections"]] == ["table3", "fig9"]
+
+    def test_unknown_only_name_fails_loudly(self, report_dir, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            report_main(
+                ["--only", "fig99", "--output", str(tmp_path), "--quiet"]
+            )
+
+
+class TestLinkcheck:
+    def test_detects_broken_file_link(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](./nope.md) and [ok](./doc.md)")
+        errors = check_file(doc)
+        assert len(errors) == 1 and "nope.md" in errors[0]
+
+    def test_detects_broken_anchor(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Title\n\n[jump](#elsewhere)\n[fine](#title)\n")
+        errors = check_file(doc)
+        assert len(errors) == 1 and "elsewhere" in errors[0]
+
+    def test_skips_external_and_code_fences(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[ext](https://example.com)\n```\n[fake](./nope.md)\n```\n"
+        )
+        assert check_file(doc) == []
+
+    def test_slugify_matches_report_anchors(self):
+        assert slugify("Fig. 7 — `fig7`") == "fig-7--fig7"
