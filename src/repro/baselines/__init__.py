@@ -1,4 +1,11 @@
-"""Analytical models of prior SNN accelerators (Table 2 baselines)."""
+"""Analytical models of prior SNN accelerators (Table 2 baselines).
+
+Every baseline implements the unified
+:class:`~repro.hw.pipeline.AcceleratorModel` interface and reports
+through the canonical :class:`~repro.hw.pipeline.RunResult` schema, so
+the sweep engine and the experiment harnesses treat Phi and the
+baselines identically.
+"""
 
 from .base import (
     AcceleratorReport,
@@ -14,6 +21,7 @@ from .registry import (
     BASELINE_ORDER,
     PhiAccelerator,
     available_baselines,
+    get_accelerator,
     get_baseline,
     simulation_to_report,
 )
@@ -33,6 +41,7 @@ __all__ = [
     "SpinalFlow",
     "Stellar",
     "PhiAccelerator",
+    "get_accelerator",
     "get_baseline",
     "available_baselines",
     "simulation_to_report",

@@ -7,12 +7,21 @@ and energy.  Operation counts follow the paper's definition — one OP per
 '1' element in the bit-sparse activation times the output width — so
 throughput and energy efficiency are directly comparable across all
 accelerators (Section 5.1).
+
+All baselines implement the shared
+:class:`~repro.hw.pipeline.AcceleratorModel` interface: a layer runs
+through a two-stage :class:`~repro.hw.pipeline.Pipeline` (compute →
+DRAM) producing the same canonical
+:class:`~repro.hw.pipeline.LayerResult` / :class:`~repro.hw.pipeline.RunResult`
+schema as the cycle-level Phi simulator, with energy accounted at run
+level (static power × runtime + dynamic energy per executed
+accumulation).  ``AcceleratorReport`` and ``BaselineLayerResult`` are
+aliases of the canonical classes, kept for existing callers.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from abc import abstractmethod
 
 import numpy as np
 
@@ -21,99 +30,28 @@ from ..hw.energy import (
     ACCUMULATE_ENERGY_PJ,
     BUFFER_ENERGY_PER_BYTE_PJ,
     DRAM_ENERGY_PER_BYTE_PJ,
+    EnergyBreakdown,
+)
+from ..hw.pipeline import (
+    AcceleratorModel,
+    LayerContext,
+    LayerResult,
+    Pipeline,
+    RunResult,
+    StageRecord,
 )
 from ..workloads.workload import LayerWorkload, ModelWorkload
+
+#: Compatibility aliases: baselines report through the canonical pipeline
+#: schema (see ``repro.hw.pipeline``).
+BaselineLayerResult = LayerResult
+AcceleratorReport = RunResult
 
 #: On-chip SRAM bytes touched per executed accumulation: a weight element
 #: (2 B), a partial-sum read-modify-write (2 x 2 B) and amortised control /
 #: index metadata.  Set so the per-accumulation energy matches the
 #: ~10-20 pJ characteristic of 28 nm SNN accelerators.
 BUFFER_BYTES_PER_ACCUMULATION = 10.0
-
-
-@dataclass
-class BaselineLayerResult:
-    """Per-layer outcome of a baseline accelerator simulation."""
-
-    layer_name: str
-    compute_cycles: float
-    memory_cycles: float
-    dram_bytes: float
-    operations: int
-
-    @property
-    def total_cycles(self) -> float:
-        """Layer latency (compute overlapped with memory transfers)."""
-        return max(self.compute_cycles, self.memory_cycles)
-
-
-@dataclass
-class AcceleratorReport:
-    """Aggregate performance / energy report of one accelerator run."""
-
-    accelerator: str
-    model_name: str
-    dataset_name: str
-    frequency_hz: float
-    area_mm2: float
-    layers: list[BaselineLayerResult] = field(default_factory=list)
-    core_energy: float = 0.0
-    buffer_energy: float = 0.0
-    dram_energy: float = 0.0
-
-    @property
-    def total_cycles(self) -> float:
-        """End-to-end cycles."""
-        return sum(layer.total_cycles for layer in self.layers)
-
-    @property
-    def runtime_seconds(self) -> float:
-        """Runtime at the accelerator's clock frequency."""
-        return self.total_cycles / self.frequency_hz
-
-    @property
-    def total_operations(self) -> int:
-        """Paper-defined OP count (accumulations of '1' activations x N)."""
-        return sum(layer.operations for layer in self.layers)
-
-    @property
-    def throughput_gops(self) -> float:
-        """Throughput in GOP/s."""
-        if self.runtime_seconds == 0:
-            return 0.0
-        return self.total_operations / self.runtime_seconds / 1e9
-
-    @property
-    def energy_joules(self) -> float:
-        """Total energy."""
-        return self.core_energy + self.buffer_energy + self.dram_energy
-
-    @property
-    def energy_efficiency_gops_per_joule(self) -> float:
-        """Energy efficiency in GOP/J."""
-        if self.energy_joules == 0:
-            return 0.0
-        return self.total_operations / self.energy_joules / 1e9
-
-    @property
-    def area_efficiency_gops_per_mm2(self) -> float:
-        """Area efficiency in GOP/s/mm^2."""
-        if self.area_mm2 == 0:
-            return 0.0
-        return self.throughput_gops / self.area_mm2
-
-    @property
-    def total_dram_bytes(self) -> float:
-        """Total DRAM traffic."""
-        return sum(layer.dram_bytes for layer in self.layers)
-
-    def energy_breakdown(self) -> dict[str, float]:
-        """Core / buffer / DRAM energy split (Joules)."""
-        return {
-            "core": self.core_energy,
-            "buffer": self.buffer_energy,
-            "dram": self.dram_energy,
-        }
 
 
 def paper_operations(layer: LayerWorkload) -> int:
@@ -136,7 +74,73 @@ def output_bytes(layer: LayerWorkload) -> float:
     return layer.m * layer.n / 8.0
 
 
-class BaselineAccelerator(ABC):
+class BaselineComputeStage:
+    """Compute stage of the baseline pipeline.
+
+    Delegates the cycle count to the owning model's
+    :meth:`BaselineAccelerator.layer_compute_cycles`, which is where each
+    baseline encodes its dataflow (dense execution, load imbalance,
+    window batching, ...).
+    """
+
+    name = "compute"
+
+    def __init__(self, model: "BaselineAccelerator") -> None:
+        self.model = model
+
+    def run(self, ctx: LayerContext) -> StageRecord:
+        """Account the layer's compute cycles."""
+        compute = self.model.layer_compute_cycles(ctx.layer)
+        ctx.scratch["compute_cycles"] = compute
+        return StageRecord(name=self.name, cycles=compute)
+
+
+class BaselineDramStage:
+    """DRAM stage of the baseline pipeline; assembles the layer result.
+
+    All baselines stream dense (bit-packed) activations, dense weights
+    and binary output spikes; :meth:`BaselineAccelerator.layer_dram_bytes`
+    stays overridable for designs with a different traffic mix (such
+    models should also override the component fields they change).
+    """
+
+    name = "dram"
+
+    def __init__(self, model: "BaselineAccelerator") -> None:
+        self.model = model
+
+    def run(self, ctx: LayerContext) -> StageRecord:
+        """Account the layer's off-chip traffic and build ``ctx.result``."""
+        layer = ctx.layer
+        config = self.model.config
+        dram = self.model.layer_dram_bytes(layer)
+        memory = dram / config.dram_bytes_per_cycle
+        ctx.result = LayerResult(
+            layer_name=layer.name,
+            m=layer.m,
+            k=layer.k,
+            n=layer.n,
+            compute_cycles=ctx.scratch["compute_cycles"],
+            memory_cycles=memory,
+            operations=paper_operations(layer),
+            activation_bytes=dense_activation_bytes(layer),
+            weight_bytes=weight_bytes(layer, config),
+            output_bytes=output_bytes(layer),
+        )
+        if ctx.result.dram_bytes != dram:
+            # Latency (memory_cycles) and traffic (LayerResult.dram_bytes)
+            # must agree; a model with a custom traffic mix has to override
+            # the stage (or the component fields), not just the total.
+            raise ValueError(
+                f"{self.model.name}: layer_dram_bytes() ({dram}) disagrees "
+                f"with the traffic component fields "
+                f"({ctx.result.dram_bytes}); override BaselineDramStage so "
+                "latency and traffic stay consistent"
+            )
+        return StageRecord(name=self.name, cycles=memory, dram_bytes=dram)
+
+
+class BaselineAccelerator(AcceleratorModel):
     """Abstract analytical model of an SNN accelerator.
 
     Parameters
@@ -158,6 +162,9 @@ class BaselineAccelerator(ABC):
 
     def __init__(self, config: ArchConfig | None = None) -> None:
         self.config = config or ArchConfig()
+        self.pipeline = Pipeline(
+            (BaselineComputeStage(self), BaselineDramStage(self))
+        )
 
     # ------------------------------------------------------------------ #
     @abstractmethod
@@ -184,22 +191,13 @@ class BaselineAccelerator(ABC):
         )
 
     # ------------------------------------------------------------------ #
-    def simulate_layer(self, layer: LayerWorkload) -> BaselineLayerResult:
-        """Simulate one layer and return its cycle/traffic accounting."""
-        compute = self.layer_compute_cycles(layer)
-        dram = self.layer_dram_bytes(layer)
-        memory = dram / self.config.dram_bytes_per_cycle
-        return BaselineLayerResult(
-            layer_name=layer.name,
-            compute_cycles=compute,
-            memory_cycles=memory,
-            dram_bytes=dram,
-            operations=paper_operations(layer),
-        )
+    def simulate_layer(self, layer: LayerWorkload) -> LayerResult:
+        """Simulate one layer through the compute → DRAM stage pipeline."""
+        return self.pipeline.run_layer(LayerContext(layer=layer))
 
-    def simulate(self, workload: ModelWorkload) -> AcceleratorReport:
+    def simulate(self, workload: ModelWorkload) -> RunResult:
         """Simulate a complete model workload."""
-        report = AcceleratorReport(
+        result = RunResult(
             accelerator=self.name,
             model_name=workload.model_name,
             dataset_name=workload.dataset_name,
@@ -208,9 +206,9 @@ class BaselineAccelerator(ABC):
         )
         executed = 0.0
         for layer in workload:
-            report.layers.append(self.simulate_layer(layer))
+            result.layers.append(self.simulate_layer(layer))
             executed += self.layer_executed_accumulations(layer)
-        runtime = report.runtime_seconds
+        runtime = result.runtime_seconds
         # Dynamic energy scales with the accumulations actually executed
         # (adder switching plus weight / partial-sum SRAM traffic); static
         # energy scales with runtime.
@@ -221,10 +219,12 @@ class BaselineAccelerator(ABC):
             * BUFFER_ENERGY_PER_BYTE_PJ
             * 1e-12
         )
-        report.core_energy = self.core_power_mw * 1e-3 * runtime + dynamic_core
-        report.buffer_energy = self.buffer_power_mw * 1e-3 * runtime + dynamic_buffer
-        report.dram_energy = report.total_dram_bytes * DRAM_ENERGY_PER_BYTE_PJ * 1e-12
-        return report
+        result.run_energy = EnergyBreakdown(
+            core=self.core_power_mw * 1e-3 * runtime + dynamic_core,
+            buffer=self.buffer_power_mw * 1e-3 * runtime + dynamic_buffer,
+            dram=result.total_dram_bytes * DRAM_ENERGY_PER_BYTE_PJ * 1e-12,
+        )
+        return result
 
 
 def load_imbalance_cycles(

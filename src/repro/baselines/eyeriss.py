@@ -4,6 +4,11 @@ The paper compares against the spiking adaptation of Eyeriss used by
 SpinalFlow: a row-stationary dataflow that performs an accumulation for
 *every* activation/weight pair, zero or not.  It therefore sets the 1x
 reference point of Table 2 and Fig. 8.
+
+Like every baseline, the model plugs its dataflow into the shared
+compute → DRAM stage pipeline of :class:`~repro.baselines.base.BaselineAccelerator`
+and reports through the canonical :class:`~repro.hw.pipeline.RunResult`
+schema.
 """
 
 from __future__ import annotations

@@ -5,6 +5,10 @@ Because whole windows are scheduled as a unit, inactive positions inside
 an otherwise-active window are still processed, so only part of the bit
 sparsity is harvested (Section 2.2 / 5.3.1 of the Phi paper).  The model
 reproduces that mechanism at window granularity.
+
+The dataflow plugs into the shared compute → DRAM stage pipeline of
+:class:`~repro.baselines.base.BaselineAccelerator` and reports through
+the canonical :class:`~repro.hw.pipeline.RunResult` schema.
 """
 
 from __future__ import annotations

@@ -1,21 +1,27 @@
 """Registry of baseline accelerators and the Phi adapter.
 
 The experiments iterate over accelerators by name; :func:`get_baseline`
-returns analytical baseline models and :class:`PhiAccelerator` wraps the
-cycle-level Phi simulator behind the same :class:`AcceleratorReport`
-interface so Table 2 / Fig. 8 style comparisons are one loop.
+returns analytical baseline models and :func:`get_accelerator` resolves
+*any* accelerator — Phi included — to an
+:class:`~repro.hw.pipeline.AcceleratorModel`, so Table 2 / Fig. 8 style
+comparisons are one loop over one interface.  Since the unified-pipeline
+refactor every model already emits the canonical
+:class:`~repro.hw.pipeline.RunResult`; :class:`PhiAccelerator` and
+:func:`simulation_to_report` survive as thin compatibility shims.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Type
 
 from ..core.calibration import ModelCalibration
 from ..core.config import PhiConfig
 from ..hw.config import ArchConfig
-from ..hw.simulator import PhiSimulator, SimulationResult
+from ..hw.pipeline import AcceleratorModel, RunResult
+from ..hw.simulator import PhiSimulator
 from ..workloads.workload import ModelWorkload
-from .base import AcceleratorReport, BaselineAccelerator, BaselineLayerResult
+from .base import BaselineAccelerator
 from .eyeriss import SpikingEyeriss
 from .ptb import PTB
 from .sato import SATO
@@ -50,12 +56,45 @@ def get_baseline(name: str, config: ArchConfig | None = None) -> BaselineAcceler
     return cls(config)
 
 
-class PhiAccelerator:
-    """Adapter exposing the Phi simulator through the baseline interface."""
+def get_accelerator(
+    name: str,
+    config: ArchConfig | None = None,
+    phi_config: PhiConfig | None = None,
+) -> AcceleratorModel:
+    """Resolve any accelerator name — ``"phi"`` or a baseline — to a model.
 
-    name = "phi"
+    Parameters
+    ----------
+    name:
+        ``"phi"`` or one of :data:`BASELINE_ORDER`.
+    config:
+        Architecture configuration shared by every model.
+    phi_config:
+        Algorithm configuration, used only by the Phi simulator.
+
+    Returns
+    -------
+    AcceleratorModel
+        The model; callers drive it exclusively through the unified
+        ``simulate`` / ``simulate_many`` interface.
+    """
+    if name == "phi":
+        return PhiSimulator(config, phi_config)
+    return get_baseline(name, config)
+
+
+class PhiAccelerator:
+    """Compatibility adapter for the pre-pipeline baseline interface.
+
+    The Phi simulator now implements
+    :class:`~repro.hw.pipeline.AcceleratorModel` directly and returns the
+    canonical :class:`~repro.hw.pipeline.RunResult`; this wrapper simply
+    delegates and is kept so existing comparison scripts keep working.
+    """
+
+    name = PhiSimulator.name
     #: Table 3 total area.
-    area_mm2 = 0.662
+    area_mm2 = PhiSimulator.area_mm2
 
     def __init__(
         self,
@@ -70,35 +109,31 @@ class PhiAccelerator:
         workload: ModelWorkload,
         *,
         calibration: ModelCalibration | None = None,
-    ) -> AcceleratorReport:
-        """Run the Phi simulator and convert its result to a report."""
-        result = self.simulator.run(workload, calibration=calibration)
-        return simulation_to_report(result, area_mm2=self.area_mm2)
+    ) -> RunResult:
+        """Run the Phi simulator; the result is already a canonical report."""
+        return self.simulator.run(workload, calibration=calibration)
 
 
 def simulation_to_report(
-    result: SimulationResult, *, area_mm2: float = 0.662, name: str = "phi"
-) -> AcceleratorReport:
-    """Convert a :class:`SimulationResult` into an :class:`AcceleratorReport`."""
-    report = AcceleratorReport(
-        accelerator=name,
-        model_name=result.model_name,
-        dataset_name=result.dataset_name,
-        frequency_hz=result.config.frequency_hz,
-        area_mm2=area_mm2,
-    )
-    for layer in result.layers:
-        report.layers.append(
-            BaselineLayerResult(
-                layer_name=layer.layer_name,
-                compute_cycles=layer.compute_cycles,
-                memory_cycles=layer.memory_cycles,
-                dram_bytes=layer.dram_bytes,
-                operations=layer.operation_counts.bit_sparse_ops * layer.n,
-            )
-        )
-    energy = result.energy
-    report.core_energy = energy.core
-    report.buffer_energy = energy.buffer
-    report.dram_energy = energy.dram
-    return report
+    result: RunResult,
+    *,
+    area_mm2: float = PhiSimulator.area_mm2,
+    name: str = "phi",
+) -> RunResult:
+    """Compatibility shim: a simulation result already is the report.
+
+    Parameters
+    ----------
+    result:
+        A Phi :class:`~repro.hw.pipeline.RunResult`.
+    area_mm2, name:
+        Overrides applied to the returned copy (historically this
+        function re-keyed the record for ablated Phi variants).
+
+    Returns
+    -------
+    RunResult
+        A shallow copy with the requested accelerator name and area; the
+        layer list is shared with the input.
+    """
+    return replace(result, accelerator=name, area_mm2=area_mm2)

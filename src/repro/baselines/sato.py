@@ -6,6 +6,10 @@ parallel lanes makes it sensitive to load imbalance: a lane group only
 finishes when its most spike-heavy row finishes (Section 5.3.1 notes
 "some load imbalance issues").  The model captures exactly that effect,
 plus the adder-search-tree overhead as a utilisation factor.
+
+The dataflow plugs into the shared compute → DRAM stage pipeline of
+:class:`~repro.baselines.base.BaselineAccelerator` and reports through
+the canonical :class:`~repro.hw.pipeline.RunResult` schema.
 """
 
 from __future__ import annotations

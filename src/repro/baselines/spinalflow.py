@@ -6,6 +6,10 @@ but its dataflow assumes each neuron fires at most once over all time
 steps, an assumption that costs accuracy and generality (Section 5.3.1).
 Performance-wise the model executes one accumulation per '1' activation
 with a sequential-processing efficiency factor.
+
+The dataflow plugs into the shared compute → DRAM stage pipeline of
+:class:`~repro.baselines.base.BaselineAccelerator` and reports through
+the canonical :class:`~repro.hw.pipeline.RunResult` schema.
 """
 
 from __future__ import annotations

@@ -7,6 +7,10 @@ here we model its dataflow analytically: the FS neuron reduces the number
 of spike-triggered accumulations and the dedicated dataflow executes them
 at high utilisation, giving it the best baseline throughput, energy and
 area efficiency — but still roughly 3.4x short of Phi.
+
+The dataflow plugs into the shared compute → DRAM stage pipeline of
+:class:`~repro.baselines.base.BaselineAccelerator` and reports through
+the canonical :class:`~repro.hw.pipeline.RunResult` schema.
 """
 
 from __future__ import annotations

@@ -10,6 +10,13 @@ iterate over :data:`REGISTRY` instead of hand-importing harness modules.
 
 Registering a new experiment means adding one spec here (and an emitter
 in :mod:`repro.report.emitters` if it should appear in the report).
+
+Harnesses with ``uses_engine=True`` never touch an accelerator model
+directly: they submit :class:`~repro.runner.SweepPoint` grids and read
+the canonical cache-schema-v3 records the engine flattens from
+:class:`~repro.hw.pipeline.RunResult` — the same record shape for Phi
+and every baseline, so per-accelerator glue does not exist at this
+layer (a structural test in ``tests/test_pipeline.py`` enforces it).
 """
 
 from __future__ import annotations

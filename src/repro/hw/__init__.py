@@ -1,4 +1,4 @@
-"""Phi accelerator: cycle-level simulator, buffers, DRAM and energy model."""
+"""Phi accelerator: unified model pipeline, cycle-level simulator, buffers, DRAM and energy model."""
 
 from .buffers import Buffer, BufferSet
 from .config import PAPER_ARCH, ArchConfig, BufferSizes
@@ -16,6 +16,16 @@ from .energy import (
 from .l1_processor import L1Processor, L1Result
 from .l2_processor import L2Processor, L2Result, ReconfigurableAdderTree
 from .neuron_array import NeuronArrayResult, SpikingNeuronArray
+from .pipeline import (
+    AcceleratorModel,
+    DerivedMetricsMixin,
+    LayerContext,
+    LayerResult,
+    Pipeline,
+    RunResult,
+    Stage,
+    StageRecord,
+)
 from .preprocessor import (
     LABEL_NONZERO,
     LABEL_PSUM,
@@ -63,6 +73,14 @@ __all__ = [
     "ReconfigurableAdderTree",
     "SpikingNeuronArray",
     "NeuronArrayResult",
+    "AcceleratorModel",
+    "DerivedMetricsMixin",
+    "LayerContext",
+    "LayerResult",
+    "Pipeline",
+    "RunResult",
+    "Stage",
+    "StageRecord",
     "LayerSimulation",
     "SimulationResult",
     "PhiSimulator",

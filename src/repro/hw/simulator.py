@@ -5,267 +5,137 @@ the recorded spike activations of a model together with the calibrated
 patterns, models the behaviour of every architectural component at the
 tile level, and reports cycles, memory traffic and energy.
 
-Execution model per layer (K-first tiling, Section 4.1):
+Execution model per layer (K-first tiling, Section 4.1), expressed as a
+:class:`~repro.hw.pipeline.Pipeline` of five stages:
 
-* the activation matrix is split into ``tile_m``-row M tiles, ``tile_k``
-  wide K partitions and ``tile_n`` wide N tiles,
-* the Preprocessor converts every (M tile, partition) into the Level 1
-  pattern-index column and the packed Level 2 representation; this work is
-  overlapped with the previous tile's compute, so it adds energy but no
-  critical-path cycles,
-* per output tile (M tile, N tile) the L1 and L2 processors run
-  concurrently and synchronise at the tile boundary, so the tile's compute
-  latency is the maximum of the two,
-* DRAM traffic (compressed activations, weights, prefetched PWPs, spilled
-  partial sums) is bandwidth-limited and can bound the layer latency.
+* **tiling** — the activation matrix is split into ``tile_m``-row M
+  tiles, ``tile_k`` wide K partitions and ``tile_n`` wide N tiles, and
+  decomposed once into the two-level Phi representation,
+* **preprocess** — the Preprocessor converts every (M tile, partition)
+  into the Level 1 pattern-index column and the packed Level 2
+  representation; this work is overlapped with the previous tile's
+  compute, so it adds energy but no critical-path cycles,
+* **compute** — per output tile (M tile, N tile) the L1 and L2
+  processors run concurrently and synchronise at the tile boundary, so
+  the tile's compute latency is the maximum of the two,
+* **dram** — DRAM traffic (compressed activations, weights, prefetched
+  PWPs, spilled partial sums) is bandwidth-limited and can bound the
+  layer latency,
+* **energy** — activity counters are folded into an energy breakdown.
+
+Each stage emits a :class:`~repro.hw.pipeline.StageRecord`; the layer
+outcome is the canonical :class:`~repro.hw.pipeline.LayerResult` and a
+model run aggregates into :class:`~repro.hw.pipeline.RunResult` — the
+same schema every baseline accelerator reports through.
+``LayerSimulation`` and ``SimulationResult`` remain as aliases of those
+two classes for existing callers.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.calibration import LayerCalibration, ModelCalibration, PhiCalibrator
 from ..core.config import PhiConfig
-from ..core.metrics import (
-    OperationCounts,
-    SparsityBreakdown,
-    aggregate_breakdowns,
-    aggregate_operation_counts,
-    operation_counts,
-    sparsity_breakdown,
-)
+from ..core.metrics import operation_counts, sparsity_breakdown
 from ..core.sparsity import decompose_matrix, partition_boundaries
 from ..workloads.workload import LayerWorkload, ModelWorkload
-from .buffers import BufferSet
 from .config import ArchConfig
-from .dram import DRAMModel
 from .energy import EnergyBreakdown, PhiEnergyModel
 from .l1_processor import L1Processor, distinct_nonzero_per_column
 from .l2_processor import L2Processor
 from .neuron_array import SpikingNeuronArray
+from .pipeline import (
+    AcceleratorModel,
+    LayerContext,
+    LayerResult,
+    Pipeline,
+    RunResult,
+    StageRecord,
+)
 from .preprocessor import Preprocessor
 
-
-@dataclass
-class LayerSimulation:
-    """Simulation outcome of a single layer."""
-
-    layer_name: str
-    m: int
-    k: int
-    n: int
-    compute_cycles: float
-    memory_cycles: float
-    preprocessor_cycles: float
-    l1_cycles: float
-    l2_cycles: float
-    neuron_cycles: float
-    operation_counts: OperationCounts
-    breakdown: SparsityBreakdown
-    activation_bytes: float
-    activation_bytes_uncompressed: float
-    weight_bytes: float
-    pwp_bytes_prefetched: float
-    pwp_bytes_unfiltered: float
-    output_bytes: float
-    psum_spill_bytes: float
-    pattern_match_comparisons: int
-    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
-
-    @property
-    def total_cycles(self) -> float:
-        """Layer latency: compute overlapped with (bounded by) memory."""
-        return max(self.compute_cycles, self.memory_cycles)
-
-    @property
-    def dram_bytes(self) -> float:
-        """Total DRAM traffic of the layer (prefetcher enabled)."""
-        return (
-            self.activation_bytes
-            + self.weight_bytes
-            + self.pwp_bytes_prefetched
-            + self.output_bytes
-            + self.psum_spill_bytes
-        )
+#: Compatibility aliases: the pre-pipeline result classes are the
+#: canonical schema now (see ``repro.hw.pipeline``).
+LayerSimulation = LayerResult
+SimulationResult = RunResult
 
 
-@dataclass
-class SimulationResult:
-    """Aggregated simulation outcome for a model workload."""
+class PhiTilingStage:
+    """Tiling + decomposition: split the layer and decompose it once.
 
-    model_name: str
-    dataset_name: str
-    config: ArchConfig
-    layers: list[LayerSimulation] = field(default_factory=list)
-
-    @property
-    def key(self) -> str:
-        """Canonical workload identifier."""
-        return f"{self.model_name}/{self.dataset_name}"
-
-    @property
-    def total_cycles(self) -> float:
-        """End-to-end cycles (layers execute back to back)."""
-        return sum(layer.total_cycles for layer in self.layers)
-
-    @property
-    def runtime_seconds(self) -> float:
-        """Wall-clock runtime at the configured frequency."""
-        return self.total_cycles / self.config.frequency_hz
-
-    @property
-    def total_operations(self) -> int:
-        """Paper-defined OP count (Section 5.1).
-
-        One OP is the scalar accumulation triggered by a '1' element of the
-        bit-sparse activation, so the total is (number of 1 bits) x N for
-        every layer regardless of how the accelerator actually executes it.
-        """
-        return sum(
-            layer.operation_counts.bit_sparse_ops * layer.n for layer in self.layers
-        )
-
-    @property
-    def throughput_gops(self) -> float:
-        """Effective throughput in GOP/s (OPs defined as in Section 5.1)."""
-        if self.runtime_seconds == 0:
-            return 0.0
-        return self.total_operations / self.runtime_seconds / 1e9
-
-    @property
-    def energy(self) -> EnergyBreakdown:
-        """Total energy across all layers."""
-        total = EnergyBreakdown()
-        for layer in self.layers:
-            total = total + layer.energy
-        return total
-
-    @property
-    def energy_joules(self) -> float:
-        """Total energy in Joules."""
-        return self.energy.total
-
-    @property
-    def energy_efficiency_gops_per_joule(self) -> float:
-        """Energy efficiency in GOP/J."""
-        if self.energy_joules == 0:
-            return 0.0
-        return self.total_operations / self.energy_joules / 1e9
-
-    @property
-    def total_dram_bytes(self) -> float:
-        """Total DRAM traffic."""
-        return sum(layer.dram_bytes for layer in self.layers)
-
-    def aggregate_breakdown(self) -> SparsityBreakdown:
-        """Element-weighted sparsity breakdown over all layers."""
-        return aggregate_breakdowns(
-            (layer.breakdown, layer.m * layer.k) for layer in self.layers
-        )
-
-    def aggregate_operations(self) -> OperationCounts:
-        """Summed operation counts over all layers."""
-        return aggregate_operation_counts(layer.operation_counts for layer in self.layers)
-
-
-class PhiSimulator:
-    """Cycle-level simulator of the Phi accelerator.
-
-    Parameters
-    ----------
-    arch_config:
-        Architecture parameters (tile sizes, buffers, frequency).
-    phi_config:
-        Algorithm parameters (partition width, pattern count) used when the
-        simulator has to calibrate patterns itself.
-    energy_model:
-        Optional custom energy model (defaults to the Table 3 constants).
+    Rows decompose independently, so the per-tile views the later stages
+    need are sliced out of this single decomposition instead of being
+    re-matched from scratch.
     """
 
-    def __init__(
-        self,
-        arch_config: ArchConfig | None = None,
-        phi_config: PhiConfig | None = None,
-        *,
-        energy_model: PhiEnergyModel | None = None,
-    ) -> None:
-        self.arch = arch_config or ArchConfig()
-        self.phi_config = phi_config or PhiConfig(
-            partition_size=self.arch.tile_k, num_patterns=self.arch.num_patterns
-        )
-        if self.phi_config.partition_size != self.arch.tile_k:
-            raise ValueError(
-                "phi_config.partition_size must equal arch_config.tile_k "
-                f"({self.phi_config.partition_size} != {self.arch.tile_k})"
-            )
-        self.energy_model = energy_model or PhiEnergyModel(self.arch)
-        self.preprocessor = Preprocessor(self.arch)
-        self.l1 = L1Processor(self.arch)
-        self.l2 = L2Processor(self.arch)
-        self.neuron_array = SpikingNeuronArray(self.arch)
+    name = "tiling"
 
-    # ------------------------------------------------------------------ #
-    def _calibration_for(
-        self, layer: LayerWorkload, calibration: ModelCalibration | None
-    ) -> LayerCalibration:
-        if calibration is not None and layer.name in calibration:
-            return calibration[layer.name]
-        calibrator = PhiCalibrator(self.phi_config)
-        return calibrator.calibrate_layer(layer.name, layer.activations)
+    def __init__(self, simulator: "PhiSimulator") -> None:
+        self.simulator = simulator
 
-    def simulate_layer(
-        self,
-        layer: LayerWorkload,
-        *,
-        layer_calibration: LayerCalibration | None = None,
-    ) -> LayerSimulation:
-        """Simulate one spike GEMM on the Phi accelerator."""
-        arch = self.arch
-        if layer_calibration is None:
-            layer_calibration = self._calibration_for(layer, None)
-        if layer_calibration.total_width != layer.k:
-            raise ValueError(
-                f"calibration width {layer_calibration.total_width} does not match "
-                f"layer K={layer.k}"
-            )
-
+    def run(self, ctx: LayerContext) -> StageRecord:
+        """Decompose the layer and record the tile grid in the context."""
+        arch = self.simulator.arch
+        layer = ctx.layer
         decomposition = decompose_matrix(
-            layer.activations, layer_calibration.pattern_sets, arch.tile_k
+            layer.activations, ctx.calibration.pattern_sets, arch.tile_k
         )
-        breakdown = sparsity_breakdown(decomposition)
-        ops = operation_counts(decomposition)
-
         boundaries = partition_boundaries(layer.k, arch.tile_k)
-        num_partitions = len(boundaries)
-        num_n_tiles = int(np.ceil(layer.n / arch.tile_n))
-        pattern_index_matrix = decomposition.pattern_index_matrix()
+        m_tiles = [
+            (m_start, min(m_start + arch.tile_m, layer.m))
+            for m_start in range(0, layer.m, arch.tile_m)
+        ]
+        ctx.scratch.update(
+            decomposition=decomposition,
+            breakdown=sparsity_breakdown(decomposition),
+            ops=operation_counts(decomposition),
+            boundaries=boundaries,
+            m_tiles=m_tiles,
+            num_n_tiles=int(np.ceil(layer.n / arch.tile_n)),
+            pattern_index_matrix=decomposition.pattern_index_matrix(),
+        )
+        return StageRecord(
+            name=self.name,
+            detail={
+                "m_tiles": len(m_tiles),
+                "k_partitions": len(boundaries),
+                "n_tiles": ctx.scratch["num_n_tiles"],
+            },
+        )
 
-        compute_cycles = 0.0
+
+class PhiPreprocessStage:
+    """Preprocessor pass: match, compress and pack every (M tile, partition).
+
+    The preprocessor overlaps with the previous tile's compute, so its
+    cycles are recorded (they burn energy) but never enter the layer's
+    critical path.
+    """
+
+    name = "preprocess"
+
+    def __init__(self, simulator: "PhiSimulator") -> None:
+        self.simulator = simulator
+
+    def run(self, ctx: LayerContext) -> StageRecord:
+        """Produce the per-M-tile pack lists and preprocessing counters."""
+        preprocessor = self.simulator.preprocessor
+        decomposition = ctx.scratch["decomposition"]
+        boundaries = ctx.scratch["boundaries"]
+
+        packs_per_tile: list[list] = []
         preproc_cycles = 0.0
-        l1_cycles_total = 0.0
-        l2_cycles_total = 0.0
-        neuron_cycles_total = 0.0
         match_comparisons = 0
         l2_nonzeros_total = 0
-        per_tile_unique_rows = 0  # summed per-M-tile uniques (no cross-tile reuse)
-
-        for m_start in range(0, layer.m, arch.tile_m):
-            m_stop = min(m_start + arch.tile_m, layer.m)
-            tile_rows = m_stop - m_start
-
-            # --- Preprocessor: one pass per K partition of this M tile. ---
-            # The layer was already decomposed above; rows decompose
-            # independently, so each (M tile, partition) view is sliced out
-            # of that decomposition instead of re-matched from scratch.
+        for m_start, m_stop in ctx.scratch["m_tiles"]:
             tile_packs = []
             tile_preproc = 0.0
-            for p, (k_start, k_stop) in enumerate(boundaries):
+            for p, _ in enumerate(boundaries):
                 sub_decomposition = decomposition.tiles[p].row_slice(m_start, m_stop)
-                result = self.preprocessor.process_tile(
+                result = preprocessor.process_tile(
                     sub_decomposition.original,
-                    layer_calibration.pattern_sets[p],
+                    ctx.calibration.pattern_sets[p],
                     needs_psum=(p > 0),
                     decomposition=sub_decomposition,
                 )
@@ -273,28 +143,105 @@ class PhiSimulator:
                 tile_preproc += result.cycles
                 match_comparisons += result.matcher.comparisons
                 l2_nonzeros_total += result.compressor.total_nonzeros
+            packs_per_tile.append(tile_packs)
             preproc_cycles += tile_preproc
 
-            # --- L1 processor on the pattern-index sub-matrix. ---
-            l1_result = self.l1.process_tile(
-                pattern_index_matrix[m_start:m_stop],
-                num_patterns_per_partition=self.phi_config.num_patterns,
-                output_width=arch.tile_n,
-            )
-            # --- L2 processor on the packed Level 2 representation. ---
-            l2_result = self.l2.process_packs(tile_packs, output_width=arch.tile_n)
+        ctx.scratch.update(
+            packs_per_tile=packs_per_tile,
+            preproc_cycles=preproc_cycles,
+            match_comparisons=match_comparisons,
+            l2_nonzeros_total=l2_nonzeros_total,
+        )
+        return StageRecord(
+            name=self.name,
+            cycles=preproc_cycles,
+            detail={
+                "match_comparisons": match_comparisons,
+                "l2_nonzeros": l2_nonzeros_total,
+                "packs": sum(len(p) for p in packs_per_tile),
+            },
+        )
 
-            # The same L1/L2 work repeats for every N tile (different
-            # weight / PWP columns), and within an output tile the two
-            # processors run concurrently and synchronise at the end.
+
+class PhiComputeStage:
+    """L1 ∥ L2 compute plus the neuron array, per output tile.
+
+    Within an output tile the two processors run concurrently and
+    synchronise at the tile boundary, so the tile's latency is the
+    maximum of the two; the same work repeats for every N tile
+    (different weight / PWP columns).
+    """
+
+    name = "compute"
+
+    def __init__(self, simulator: "PhiSimulator") -> None:
+        self.simulator = simulator
+
+    def run(self, ctx: LayerContext) -> StageRecord:
+        """Accumulate L1/L2/neuron cycles over the M×N tile grid."""
+        sim = self.simulator
+        layer = ctx.layer
+        pattern_index_matrix = ctx.scratch["pattern_index_matrix"]
+        num_n_tiles = ctx.scratch["num_n_tiles"]
+
+        compute_cycles = 0.0
+        l1_cycles_total = 0.0
+        l2_cycles_total = 0.0
+        neuron_cycles_total = 0.0
+        per_tile_unique_rows = 0  # summed per-M-tile uniques (no cross-tile reuse)
+        for (m_start, m_stop), tile_packs in zip(
+            ctx.scratch["m_tiles"], ctx.scratch["packs_per_tile"]
+        ):
+            l1_result = sim.l1.process_tile(
+                pattern_index_matrix[m_start:m_stop],
+                num_patterns_per_partition=sim.phi_config.num_patterns,
+                output_width=sim.arch.tile_n,
+            )
+            l2_result = sim.l2.process_packs(tile_packs, output_width=sim.arch.tile_n)
             tile_compute = max(l1_result.cycles, l2_result.cycles) * num_n_tiles
             compute_cycles += tile_compute
             l1_cycles_total += l1_result.cycles * num_n_tiles
             l2_cycles_total += l2_result.cycles * num_n_tiles
 
-            neuron = self.neuron_array.estimate(tile_rows, layer.n)
+            neuron = sim.neuron_array.estimate(m_stop - m_start, layer.n)
             neuron_cycles_total += neuron.cycles
             per_tile_unique_rows += l1_result.unique_patterns_used
+
+        ctx.scratch.update(
+            compute_cycles=compute_cycles,
+            l1_cycles=l1_cycles_total,
+            l2_cycles=l2_cycles_total,
+            neuron_cycles=neuron_cycles_total,
+            per_tile_unique_rows=per_tile_unique_rows,
+        )
+        return StageRecord(
+            name=self.name,
+            cycles=compute_cycles,
+            detail={
+                "l1_cycles": l1_cycles_total,
+                "l2_cycles": l2_cycles_total,
+                "neuron_cycles": neuron_cycles_total,
+            },
+        )
+
+
+class PhiDramStage:
+    """DRAM traffic model; assembles the canonical :class:`LayerResult`."""
+
+    name = "dram"
+
+    def __init__(self, simulator: "PhiSimulator") -> None:
+        self.simulator = simulator
+
+    def run(self, ctx: LayerContext) -> StageRecord:
+        """Account all off-chip traffic and build ``ctx.result``."""
+        sim = self.simulator
+        arch = sim.arch
+        layer = ctx.layer
+        decomposition = ctx.scratch["decomposition"]
+        pattern_index_matrix = ctx.scratch["pattern_index_matrix"]
+        num_partitions = len(ctx.scratch["boundaries"])
+        ops = ctx.scratch["ops"]
 
         # Distinct (partition, pattern) pairs used anywhere in the layer —
         # the working set the PWP prefetcher must bring on chip at least once.
@@ -307,7 +254,7 @@ class PhiSimulator:
         # per-M-tile re-uses miss on chip and are fetched again.
         pwp_row_bytes = layer.n * arch.pwp_bytes
         pwp_working_set = unique_pattern_rows * pwp_row_bytes
-        per_tile_total = per_tile_unique_rows * pwp_row_bytes
+        per_tile_total = ctx.scratch["per_tile_unique_rows"] * pwp_row_bytes
         if pwp_working_set <= arch.buffers.pwp:
             pwp_prefetched = float(pwp_working_set)
         else:
@@ -318,12 +265,9 @@ class PhiSimulator:
         # is streamed for every M tile (Fig. 12b "w/o Prefetch").
         num_m_tiles = int(np.ceil(layer.m / arch.tile_m))
         pwp_unfiltered = float(
-            num_partitions * self.phi_config.num_patterns * pwp_row_bytes * num_m_tiles
+            num_partitions * sim.phi_config.num_patterns * pwp_row_bytes * num_m_tiles
         )
 
-        # ------------------------------------------------------------------
-        # DRAM traffic
-        # ------------------------------------------------------------------
         # Compressed activation representation: pattern-index matrix (one
         # byte per entry) plus 5 bits per Level 2 nonzero (4-bit column
         # index inside the k=16 partition plus a sign bit).
@@ -351,19 +295,20 @@ class PhiSimulator:
         )
         memory_cycles = dram_bytes / arch.dram_bytes_per_cycle
 
-        layer_sim = LayerSimulation(
+        ctx.result = LayerResult(
             layer_name=layer.name,
             m=layer.m,
             k=layer.k,
             n=layer.n,
-            compute_cycles=compute_cycles,
+            compute_cycles=ctx.scratch["compute_cycles"],
             memory_cycles=memory_cycles,
-            preprocessor_cycles=preproc_cycles,
-            l1_cycles=l1_cycles_total,
-            l2_cycles=l2_cycles_total,
-            neuron_cycles=neuron_cycles_total,
+            operations=ops.bit_sparse_ops * layer.n,
+            preprocessor_cycles=ctx.scratch["preproc_cycles"],
+            l1_cycles=ctx.scratch["l1_cycles"],
+            l2_cycles=ctx.scratch["l2_cycles"],
+            neuron_cycles=ctx.scratch["neuron_cycles"],
             operation_counts=ops,
-            breakdown=breakdown,
+            breakdown=ctx.scratch["breakdown"],
             activation_bytes=activation_bytes,
             activation_bytes_uncompressed=activation_bytes_uncompressed,
             weight_bytes=weight_bytes,
@@ -371,12 +316,116 @@ class PhiSimulator:
             pwp_bytes_unfiltered=pwp_unfiltered,
             output_bytes=output_bytes,
             psum_spill_bytes=psum_spill,
-            pattern_match_comparisons=match_comparisons,
+            pattern_match_comparisons=ctx.scratch["match_comparisons"],
         )
-        layer_sim.energy = self._layer_energy(layer_sim)
-        return layer_sim
+        return StageRecord(
+            name=self.name,
+            cycles=memory_cycles,
+            dram_bytes=dram_bytes,
+            detail={
+                "activation_bytes": activation_bytes,
+                "weight_bytes": weight_bytes,
+                "pwp_bytes_prefetched": pwp_prefetched,
+                "output_bytes": output_bytes,
+                "psum_spill_bytes": psum_spill,
+            },
+        )
 
-    def _layer_energy(self, sim: LayerSimulation) -> EnergyBreakdown:
+
+class PhiEnergyStage:
+    """Fold the layer's activity counters into an energy breakdown."""
+
+    name = "energy"
+
+    def __init__(self, simulator: "PhiSimulator") -> None:
+        self.simulator = simulator
+
+    def run(self, ctx: LayerContext) -> StageRecord:
+        """Attach the per-layer :class:`EnergyBreakdown` to the result."""
+        ctx.result.energy = self.simulator._layer_energy(ctx.result)
+        return StageRecord(
+            name=self.name,
+            energy_joules=ctx.result.energy.total,
+            detail=dict(ctx.result.energy.components),
+        )
+
+
+class PhiSimulator(AcceleratorModel):
+    """Cycle-level simulator of the Phi accelerator.
+
+    Parameters
+    ----------
+    arch_config:
+        Architecture parameters (tile sizes, buffers, frequency).
+    phi_config:
+        Algorithm parameters (partition width, pattern count) used when the
+        simulator has to calibrate patterns itself.
+    energy_model:
+        Optional custom energy model (defaults to the Table 3 constants).
+    """
+
+    name = "phi"
+    #: Table 3 total area.
+    area_mm2 = 0.662
+
+    def __init__(
+        self,
+        arch_config: ArchConfig | None = None,
+        phi_config: PhiConfig | None = None,
+        *,
+        energy_model: PhiEnergyModel | None = None,
+    ) -> None:
+        self.arch = arch_config or ArchConfig()
+        self.phi_config = phi_config or PhiConfig(
+            partition_size=self.arch.tile_k, num_patterns=self.arch.num_patterns
+        )
+        if self.phi_config.partition_size != self.arch.tile_k:
+            raise ValueError(
+                "phi_config.partition_size must equal arch_config.tile_k "
+                f"({self.phi_config.partition_size} != {self.arch.tile_k})"
+            )
+        self.energy_model = energy_model or PhiEnergyModel(self.arch)
+        self.preprocessor = Preprocessor(self.arch)
+        self.l1 = L1Processor(self.arch)
+        self.l2 = L2Processor(self.arch)
+        self.neuron_array = SpikingNeuronArray(self.arch)
+        self.pipeline = Pipeline(
+            (
+                PhiTilingStage(self),
+                PhiPreprocessStage(self),
+                PhiComputeStage(self),
+                PhiDramStage(self),
+                PhiEnergyStage(self),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    def _calibration_for(
+        self, layer: LayerWorkload, calibration: ModelCalibration | None
+    ) -> LayerCalibration:
+        if calibration is not None and layer.name in calibration:
+            return calibration[layer.name]
+        calibrator = PhiCalibrator(self.phi_config)
+        return calibrator.calibrate_layer(layer.name, layer.activations)
+
+    def simulate_layer(
+        self,
+        layer: LayerWorkload,
+        *,
+        layer_calibration: LayerCalibration | None = None,
+    ) -> LayerResult:
+        """Simulate one spike GEMM on the Phi accelerator."""
+        if layer_calibration is None:
+            layer_calibration = self._calibration_for(layer, None)
+        if layer_calibration.total_width != layer.k:
+            raise ValueError(
+                f"calibration width {layer_calibration.total_width} does not match "
+                f"layer K={layer.k}"
+            )
+        ctx = LayerContext(layer=layer, calibration=layer_calibration)
+        return self.pipeline.run_layer(ctx)
+
+    def _layer_energy(self, sim: LayerResult) -> EnergyBreakdown:
         """Energy of one simulated layer from its activity counters."""
         n_scale = max(sim.n / self.arch.tile_n, 1.0)
         component_busy = {
@@ -410,7 +459,7 @@ class PhiSimulator:
         workload: ModelWorkload,
         *,
         calibration: ModelCalibration | None = None,
-    ) -> SimulationResult:
+    ) -> RunResult:
         """Simulate every layer of a model workload.
 
         Parameters
@@ -423,9 +472,11 @@ class PhiSimulator:
             pattern quality; Section 3.2 shows train-calibrated patterns
             generalise, so the difference is small).
         """
-        result = SimulationResult(
+        result = RunResult(
+            accelerator=self.name,
             model_name=workload.model_name,
             dataset_name=workload.dataset_name,
+            area_mm2=self.area_mm2,
             config=self.arch,
         )
         for layer in workload:
@@ -434,3 +485,12 @@ class PhiSimulator:
                 self.simulate_layer(layer, layer_calibration=layer_calibration)
             )
         return result
+
+    def simulate(
+        self,
+        workload: ModelWorkload,
+        *,
+        calibration: ModelCalibration | None = None,
+    ) -> RunResult:
+        """Alias of :meth:`run` satisfying the :class:`AcceleratorModel` API."""
+        return self.run(workload, calibration=calibration)

@@ -8,6 +8,12 @@ content-addressed artifact store — works on payloads only, which is what
 lets a warm report run skip the harnesses entirely and rebuild
 ``REPRODUCTION.md`` from cached JSON.
 
+Builders never see an accelerator model: harness results are derived
+from the canonical cache-schema-v3 records of the sweep engine (one
+record shape for Phi and every baseline, flattened from
+``repro.hw.pipeline.RunResult``), so the builders here are pure
+reshaping with no per-accelerator cases.
+
 Figures are optional: matplotlib is not a dependency of this package.
 When it is missing, :func:`render_figure` reports figures as
 unavailable and the report links the payload JSON instead.

@@ -21,8 +21,12 @@ from .engine import (
     aligned_workload,
     calibration_for,
     default_engine,
+    model_for,
+    simulate_many,
     simulate_point,
+    summarize_run,
     summarize_simulation,
+    validate_record,
 )
 
 __all__ = [
@@ -38,6 +42,10 @@ __all__ = [
     "calibration_for",
     "default_cache_dir",
     "default_engine",
+    "model_for",
+    "simulate_many",
     "simulate_point",
+    "summarize_run",
     "summarize_simulation",
+    "validate_record",
 ]

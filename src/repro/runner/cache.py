@@ -104,6 +104,22 @@ class ResultCache:
                 pass
             raise
 
+    def records(self):
+        """Yield ``(path, record)`` for every readable cached JSON record.
+
+        Unreadable or corrupt files are skipped, mirroring :meth:`get`'s
+        miss semantics.  Used by ``python -m repro.runner validate-cache``
+        to audit a cache directory against the current record schema.
+        """
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            yield path, record
+
     def __len__(self) -> int:
         if not self.root.exists():
             return 0

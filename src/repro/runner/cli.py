@@ -15,6 +15,7 @@ Other figures, any registered experiment, and a generic grid sweep::
     python -m repro.runner sweep --model vgg16 --dataset cifar100 \
         --patterns 8,16,32,64 --jobs 4
     python -m repro.runner cache --clear
+    python -m repro.runner validate-cache
 
 ``exp`` accepts every name in the experiment registry
 (:mod:`repro.experiments.registry`); the full multi-experiment report is
@@ -179,6 +180,38 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate_cache(args: argparse.Namespace) -> int:
+    from .engine import CACHE_SCHEMA_VERSION, validate_record
+
+    cache = ResultCache(args.cache_dir)
+    valid = legacy = skipped = 0
+    problems: list[str] = []
+    for path, record in cache.records():
+        if not isinstance(record, dict) or "accelerator" not in record:
+            # Report-section payloads share the cache directory; they are
+            # validated by the report pipeline, not the sweep schema.
+            skipped += 1
+            continue
+        if record.get("schema") != CACHE_SCHEMA_VERSION:
+            # Pre-v3 records hash to keys the engine can no longer
+            # produce; they are dead weight, never a correctness risk.
+            legacy += 1
+            continue
+        issues = validate_record(record)
+        if issues:
+            problems.append(f"{path}: " + "; ".join(issues))
+        else:
+            valid += 1
+    print(
+        f"{valid} valid v{CACHE_SCHEMA_VERSION} records, {legacy} legacy "
+        f"records ignored, {skipped} non-sweep entries skipped, "
+        f"{len(problems)} invalid in {cache.root}"
+    )
+    for problem in problems:
+        print(f"INVALID {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro.runner`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -222,6 +255,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=default_cache_dir())
     p.add_argument("--clear", action="store_true", help="delete all cached records")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "validate-cache",
+        help="check every cached sweep record against the v3 schema",
+    )
+    p.add_argument("--cache-dir", default=default_cache_dir())
+    p.set_defaults(func=_cmd_validate_cache)
     return parser
 
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Sequence
 
-from ..baselines.registry import BASELINE_CLASSES, PhiAccelerator, get_baseline
+from ..baselines.registry import BASELINE_CLASSES, get_accelerator
 from ..core.calibration import ModelCalibration, PhiCalibrator
 from ..core.config import PhiConfig
 from ..core.metrics import (
@@ -37,7 +37,8 @@ from ..core.metrics import (
 from ..core.paft import ActivationAligner
 from ..hw.config import ArchConfig
 from ..hw.energy import PhiEnergyModel
-from ..hw.simulator import PhiSimulator, SimulationResult
+from ..hw.pipeline import AcceleratorModel, LayerResult, RunResult
+from ..hw.simulator import PhiSimulator
 from ..workloads.generator import cached_workload, generate_random_workload
 from ..workloads.workload import LayerWorkload, ModelWorkload
 from .cache import ResultCache, cache_key
@@ -48,7 +49,12 @@ from .cache import ResultCache, cache_key
 #: so releases invalidate the cache even when this stays constant.
 #: v2: per-layer operation counts + pattern-match comparisons, efficiency
 #: and area fields (the report pipeline consumes these).
-CACHE_SCHEMA_VERSION = 2
+#: v3: one canonical record for every accelerator, flattened from the
+#: unified ``repro.hw.pipeline.RunResult`` schema — baselines gained
+#: per-layer entries and area fields, every record embeds its ``schema``
+#: version, and :func:`validate_record` checks the layout.  v2 entries
+#: hash to different keys and are therefore ignored, never parsed.
+CACHE_SCHEMA_VERSION = 3
 
 #: Accelerator name for the decomposition-only density/op-count analysis
 #: used by the Fig. 7a/b tile-size sweep (no cycle-level simulation).
@@ -305,7 +311,7 @@ def _resolve_workload(point: SweepPoint) -> ModelWorkload:
 
 
 # --------------------------------------------------------------------- #
-# Record construction
+# Record construction (cache schema v3)
 # --------------------------------------------------------------------- #
 def _counts_dict(ops) -> dict:
     return {
@@ -316,26 +322,56 @@ def _counts_dict(ops) -> dict:
     }
 
 
-def summarize_simulation(result: SimulationResult) -> dict:
-    """Flatten a Phi :class:`SimulationResult` into a JSON-friendly record.
+def _layer_entry(layer: LayerResult) -> dict:
+    """Flatten one canonical :class:`LayerResult` into a record entry."""
+    entry = {
+        "name": layer.layer_name,
+        "m": layer.m,
+        "k": layer.k,
+        "n": layer.n,
+        "compute_cycles": layer.compute_cycles,
+        "memory_cycles": layer.memory_cycles,
+        "total_cycles": layer.total_cycles,
+        "operations": layer.operations,
+        "activation_bytes": layer.activation_bytes,
+        "activation_bytes_uncompressed": layer.activation_bytes_uncompressed,
+        "weight_bytes": layer.weight_bytes,
+        "pwp_bytes_prefetched": layer.pwp_bytes_prefetched,
+        "pwp_bytes_unfiltered": layer.pwp_bytes_unfiltered,
+        "output_bytes": layer.output_bytes,
+        "psum_spill_bytes": layer.psum_spill_bytes,
+        "dram_bytes": layer.dram_bytes,
+        "pattern_match_comparisons": layer.pattern_match_comparisons,
+    }
+    if layer.operation_counts is not None:
+        entry["operation_counts"] = _counts_dict(layer.operation_counts)
+    return entry
+
+
+def summarize_run(result: RunResult) -> dict:
+    """Flatten any accelerator's :class:`RunResult` into a v3 record.
 
     Parameters
     ----------
     result:
-        The cycle-level simulation outcome to flatten.
+        The canonical run result — the Phi simulator and every baseline
+        emit the same schema, so one flattener serves them all.
 
     Returns
     -------
     dict
-        JSON-serialisable record with aggregate metrics plus one entry per
-        layer (cycles, traffic, operation counts, pattern-match
-        comparisons) — the layout cached by the sweep engine and consumed
-        by the experiment harnesses and the report pipeline.
+        JSON-serialisable record with aggregate metrics, area/efficiency
+        fields and one entry per layer — the layout cached by the sweep
+        engine and consumed by the experiment harnesses and the report
+        pipeline.  Phi-only aggregates (operation counts, sparsity
+        breakdown) are present whenever the layers carry them.
     """
-    ops = result.aggregate_operations()
-    breakdown = result.aggregate_breakdown()
     energy = result.energy
-    return {
+    record = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "accelerator": result.accelerator,
+        "model": result.model_name,
+        "dataset": result.dataset_name,
         "total_cycles": result.total_cycles,
         "runtime_seconds": result.runtime_seconds,
         "total_operations": result.total_operations,
@@ -344,52 +380,54 @@ def summarize_simulation(result: SimulationResult) -> dict:
         "energy_efficiency_gops_per_joule": result.energy_efficiency_gops_per_joule,
         "energy": {"core": energy.core, "buffer": energy.buffer, "dram": energy.dram},
         "total_dram_bytes": result.total_dram_bytes,
-        "operation_counts": _counts_dict(ops),
-        "breakdown": breakdown.as_dict(),
-        "layers": [
-            {
-                "name": layer.layer_name,
-                "m": layer.m,
-                "k": layer.k,
-                "n": layer.n,
-                "compute_cycles": layer.compute_cycles,
-                "memory_cycles": layer.memory_cycles,
-                "total_cycles": layer.total_cycles,
-                "activation_bytes": layer.activation_bytes,
-                "activation_bytes_uncompressed": layer.activation_bytes_uncompressed,
-                "weight_bytes": layer.weight_bytes,
-                "pwp_bytes_prefetched": layer.pwp_bytes_prefetched,
-                "pwp_bytes_unfiltered": layer.pwp_bytes_unfiltered,
-                "output_bytes": layer.output_bytes,
-                "psum_spill_bytes": layer.psum_spill_bytes,
-                "dram_bytes": layer.dram_bytes,
-                "pattern_match_comparisons": layer.pattern_match_comparisons,
-                "operation_counts": _counts_dict(layer.operation_counts),
-            }
-            for layer in result.layers
-        ],
+        "area_mm2": result.area_mm2,
+        "area_efficiency_gops_per_mm2": result.area_efficiency_gops_per_mm2,
+        "layers": [_layer_entry(layer) for layer in result.layers],
     }
-
-
-def _phi_record(point: SweepPoint) -> dict:
-    workload = _resolve_workload(point)
-    if point.workload.paft_strength is None:
-        # Matches the simulator's per-layer self-calibration exactly while
-        # letting every point on the same workload share one calibration.
-        calibration = calibration_for(workload, point.phi)
-    else:
-        # The paper fine-tunes, then re-calibrates on the tuned network:
-        # the aligned workload self-calibrates (as in Fig. 8).
-        calibration = None
-    energy_model = PhiEnergyModel(point.arch, buffer_scale=point.buffer_scale)
-    simulator = PhiSimulator(point.arch, point.phi, energy_model=energy_model)
-    result = simulator.run(workload, calibration=calibration)
-    record = summarize_simulation(result)
-    record["area_mm2"] = PhiAccelerator.area_mm2
-    record["area_efficiency_gops_per_mm2"] = (
-        record["throughput_gops"] / record["area_mm2"] if record["area_mm2"] else 0.0
-    )
+    if any(layer.operation_counts is not None for layer in result.layers):
+        record["operation_counts"] = _counts_dict(result.aggregate_operations())
+        record["breakdown"] = result.aggregate_breakdown().as_dict()
     return record
+
+
+def summarize_simulation(result: RunResult) -> dict:
+    """Deprecated alias of :func:`summarize_run` (pre-v3 name)."""
+    return summarize_run(result)
+
+
+def model_for(point: SweepPoint) -> AcceleratorModel:
+    """Construct the accelerator model that executes one sweep point.
+
+    This is the single place the runner instantiates accelerator models;
+    everything downstream drives them through the
+    :class:`~repro.hw.pipeline.AcceleratorModel` interface only.
+    """
+    if point.accelerator == "phi":
+        energy_model = PhiEnergyModel(point.arch, buffer_scale=point.buffer_scale)
+        return PhiSimulator(point.arch, point.phi, energy_model=energy_model)
+    return get_accelerator(point.accelerator, point.arch)
+
+
+def _model_record(point: SweepPoint) -> dict:
+    # _resolve_workload honours a PAFT spec for every accelerator (it
+    # needs point.phi for the alignment calibration); a plain spec
+    # resolves to the base workload.
+    workload = _resolve_workload(point)
+    model = model_for(point)
+    if isinstance(model, PhiSimulator):
+        if point.workload.paft_strength is None:
+            # Matches the simulator's per-layer self-calibration exactly
+            # while letting every point on the same workload share one
+            # calibration.
+            calibration = calibration_for(workload, point.phi)
+        else:
+            # The paper fine-tunes, then re-calibrates on the tuned
+            # network: the aligned workload self-calibrates (as in Fig. 8).
+            calibration = None
+        result = model.simulate(workload, calibration=calibration)
+    else:
+        result = model.simulate(workload)
+    return summarize_run(result)
 
 
 def _decomposition_record(point: SweepPoint) -> dict:
@@ -407,32 +445,9 @@ def _decomposition_record(point: SweepPoint) -> dict:
     totals = aggregate_operation_counts(counts)
     breakdown = aggregate_breakdowns(breakdown_pairs)
     return {
-        "operation_counts": {
-            "dense_ops": totals.dense_ops,
-            "bit_sparse_ops": totals.bit_sparse_ops,
-            "phi_level1_ops": totals.phi_level1_ops,
-            "phi_level2_ops": totals.phi_level2_ops,
-        },
+        "schema": CACHE_SCHEMA_VERSION,
+        "operation_counts": _counts_dict(totals),
         "breakdown": breakdown.as_dict(),
-    }
-
-
-def _baseline_record(point: SweepPoint) -> dict:
-    # _resolve_workload honours a PAFT spec too (it needs point.phi for the
-    # alignment calibration); a plain spec resolves to the base workload.
-    workload = _resolve_workload(point)
-    report = get_baseline(point.accelerator, point.arch).simulate(workload)
-    return {
-        "total_cycles": report.total_cycles,
-        "runtime_seconds": report.runtime_seconds,
-        "total_operations": report.total_operations,
-        "throughput_gops": report.throughput_gops,
-        "energy_joules": report.energy_joules,
-        "energy_efficiency_gops_per_joule": report.energy_efficiency_gops_per_joule,
-        "energy": report.energy_breakdown(),
-        "total_dram_bytes": report.total_dram_bytes,
-        "area_mm2": report.area_mm2,
-        "area_efficiency_gops_per_mm2": report.area_efficiency_gops_per_mm2,
     }
 
 
@@ -442,21 +457,170 @@ def simulate_point(point: SweepPoint) -> dict:
     This is the unit of work the engine dispatches to workers (and the
     seam tests monkeypatch to observe or stub simulator invocations).
     """
-    if point.accelerator == "phi":
-        record = _phi_record(point)
-    elif point.accelerator == DECOMPOSITION:
+    if point.accelerator == DECOMPOSITION:
         record = _decomposition_record(point)
     else:
-        record = _baseline_record(point)
+        record = _model_record(point)
     record["accelerator"] = point.accelerator
     record["model"] = point.workload.model
     record["dataset"] = point.workload.dataset
     return record
 
 
+def simulate_many(points: Sequence[SweepPoint]) -> list[dict]:
+    """Execute a batch of sweep points through one entry point.
+
+    Points run in input order inside one process, so the per-process
+    workload and calibration memos (:func:`cached_workload`,
+    :func:`calibration_for`) are warmed by the first point of each
+    workload and reused by every later one.  The engine dispatches
+    workload-grouped batches through this function instead of issuing
+    per-point calls, which is what keeps a parallel sweep from
+    re-deriving shared state in every worker.
+
+    Parameters
+    ----------
+    points:
+        The batch to execute.
+
+    Returns
+    -------
+    list of dict
+        One v3 record per point, in input order.
+    """
+    return [simulate_point(point) for point in points]
+
+
+# --------------------------------------------------------------------- #
+# Record validation (cache schema v3)
+# --------------------------------------------------------------------- #
+#: Aggregate keys every v3 accelerator record must carry.
+RECORD_REQUIRED_KEYS: tuple[str, ...] = (
+    "accelerator",
+    "model",
+    "dataset",
+    "total_cycles",
+    "runtime_seconds",
+    "total_operations",
+    "throughput_gops",
+    "energy_joules",
+    "energy_efficiency_gops_per_joule",
+    "energy",
+    "total_dram_bytes",
+    "area_mm2",
+    "area_efficiency_gops_per_mm2",
+    "layers",
+)
+
+#: Keys every per-layer entry of a v3 record must carry.
+LAYER_REQUIRED_KEYS: tuple[str, ...] = (
+    "name",
+    "m",
+    "k",
+    "n",
+    "compute_cycles",
+    "memory_cycles",
+    "total_cycles",
+    "operations",
+    "dram_bytes",
+)
+
+
+def validate_record(record: dict) -> list[str]:
+    """Check one sweep record against the v3 schema.
+
+    Parameters
+    ----------
+    record:
+        A record as produced by :func:`simulate_point` (or loaded from
+        the on-disk cache).
+
+    Returns
+    -------
+    list of str
+        Human-readable problems; empty when the record is valid.
+        Records with a non-current ``schema`` field are *not* validated
+        here — callers should treat them as legacy entries and ignore
+        them (their cache keys can never be produced again).
+    """
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected dict"]
+    if record.get("schema") != CACHE_SCHEMA_VERSION:
+        return [f"schema is {record.get('schema')!r}, expected {CACHE_SCHEMA_VERSION}"]
+    if record.get("accelerator") == DECOMPOSITION:
+        for key in ("operation_counts", "breakdown", "model", "dataset"):
+            if key not in record:
+                problems.append(f"missing key {key!r}")
+        return problems
+    for key in RECORD_REQUIRED_KEYS:
+        if key not in record:
+            problems.append(f"missing key {key!r}")
+    energy = record.get("energy")
+    if not isinstance(energy, dict) or not {"core", "buffer", "dram"} <= set(energy):
+        problems.append("energy must map core/buffer/dram to Joules")
+    layers = record.get("layers")
+    if not isinstance(layers, list):
+        problems.append("layers must be a list")
+    else:
+        for i, layer in enumerate(layers):
+            if not isinstance(layer, dict):
+                problems.append(f"layers[{i}] is not a mapping")
+                continue
+            for key in LAYER_REQUIRED_KEYS:
+                if key not in layer:
+                    problems.append(f"layers[{i}] missing key {key!r}")
+    return problems
+
+
 # --------------------------------------------------------------------- #
 # The engine
 # --------------------------------------------------------------------- #
+def _workload_group(spec: WorkloadSpec) -> tuple:
+    """Grouping key: points sharing it share one resolved base workload.
+
+    PAFT variants ride with their base workload (the alignment needs the
+    base calibration), so ``paft_strength``/``paft_seed`` are excluded.
+    """
+    return (
+        spec.model,
+        spec.dataset,
+        spec.batch_size,
+        spec.num_steps,
+        spec.split,
+        spec.seed,
+        spec.density,
+        spec.dims,
+    )
+
+
+def _pending_batches(
+    points: Sequence[SweepPoint], pending: dict[str, list[int]], jobs: int
+) -> list[list[str]]:
+    """Partition pending cache keys into workload-grouped dispatch batches.
+
+    Keys are grouped by base workload so each :func:`simulate_many` batch
+    resolves and calibrates its workload once (instead of every worker
+    re-deriving the shared state point by point).  When there are fewer
+    groups than workers, groups are split so parallelism is not
+    sacrificed to batching.
+    """
+    groups: dict[tuple, list[str]] = {}
+    for key, indices in pending.items():
+        group = _workload_group(points[indices[0]].workload)
+        groups.setdefault(group, []).append(key)
+    batches = list(groups.values())
+    if jobs > 1 and len(batches) < jobs:
+        splits_per_group = -(-jobs // len(batches))  # ceil division
+        split: list[list[str]] = []
+        for keys in batches:
+            parts = min(len(keys), splits_per_group)
+            size = -(-len(keys) // parts)
+            split.extend(keys[i : i + size] for i in range(0, len(keys), size))
+        batches = split
+    return batches
+
+
 @dataclass
 class SweepStats:
     """Accounting of one or more :meth:`SweepEngine.run` calls."""
@@ -556,15 +720,20 @@ class SweepEngine:
             self._finish(points[pending[key][0]], record)
 
         if pending:
-            if self.jobs == 1 or len(pending) == 1:
-                for key in list(pending):
-                    settle(key, simulate_point(points[pending[key][0]]))
+            batches = _pending_batches(points, pending, self.jobs)
+            if self.jobs == 1 or len(batches) == 1:
+                for keys in batches:
+                    results = simulate_many([points[pending[k][0]] for k in keys])
+                    for key, record in zip(keys, results):
+                        settle(key, record)
             else:
-                workers = min(self.jobs, len(pending))
+                workers = min(self.jobs, len(batches))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
-                        pool.submit(simulate_point, points[indices[0]]): key
-                        for key, indices in pending.items()
+                        pool.submit(
+                            simulate_many, [points[pending[k][0]] for k in keys]
+                        ): keys
+                        for keys in batches
                     }
                     remaining = set(futures)
                     while remaining:
@@ -572,7 +741,8 @@ class SweepEngine:
                             remaining, return_when=FIRST_COMPLETED
                         )
                         for future in finished:
-                            settle(futures[future], future.result())
+                            for key, record in zip(futures[future], future.result()):
+                                settle(key, record)
         return records  # type: ignore[return-value]
 
     def _finish(self, point: SweepPoint, record: dict) -> None:

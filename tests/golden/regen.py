@@ -11,6 +11,12 @@ the *model* itself requires regenerating the files in a dedicated commit:
 ``tests/test_golden_simulator.py`` imports :data:`GOLDEN_CASES` and
 :func:`run_case` from this module so the regeneration script and the
 regression test can never disagree about what is being compared.
+
+Besides the Phi simulator cases, the suite freezes every baseline
+accelerator (:data:`GOLDEN_BASELINE_CASES`): the baselines were ported
+from ad-hoc report classes onto the shared ``repro.hw.pipeline``
+interface, and these files pin that port — and any future refactor — to
+bit-exact cycle/traffic/energy outputs.
 """
 
 from __future__ import annotations
@@ -60,6 +66,25 @@ GOLDEN_CASES: tuple[tuple[str, tuple[str, str, int, int, int], str], ...] = tupl
     for workload in GOLDEN_WORKLOADS
     for model, dataset, *_ in [workload]
     for config_name in GOLDEN_CONFIGS
+)
+
+
+#: Baseline accelerators frozen by the suite (registry order).
+BASELINE_NAMES: tuple[str, ...] = ("eyeriss", "ptb", "sato", "spinalflow", "stellar")
+
+#: Fixed-seed workloads the baselines are frozen on (a convolutional and a
+#: transformer model, covering both activation shapes).
+GOLDEN_BASELINE_WORKLOADS: tuple[tuple[str, str, int, int, int], ...] = (
+    ("vgg16", "cifar10", 2, 2, 0),
+    ("spikformer", "cifar100", 2, 2, 0),
+)
+
+#: Every (baseline, workload) golden case as ``(case_name, name, workload)``.
+GOLDEN_BASELINE_CASES: tuple[tuple[str, str, tuple[str, str, int, int, int]], ...] = tuple(
+    (f"baseline_{name}_{model}_{dataset}", name, workload)
+    for workload in GOLDEN_BASELINE_WORKLOADS
+    for model, dataset, *_ in [workload]
+    for name in BASELINE_NAMES
 )
 
 
@@ -130,6 +155,55 @@ def run_case(workload_spec: tuple[str, str, int, int, int], config_name: str) ->
     return summarize(result)
 
 
+def summarize_baseline(report) -> dict:
+    """Flatten a baseline accelerator run into JSON-friendly exact values."""
+    energy = report.energy_breakdown()
+    return {
+        "accelerator": report.accelerator,
+        "model": report.model_name,
+        "dataset": report.dataset_name,
+        "area_mm2": report.area_mm2,
+        "total_cycles": report.total_cycles,
+        "runtime_seconds": report.runtime_seconds,
+        "total_operations": report.total_operations,
+        "total_dram_bytes": report.total_dram_bytes,
+        "throughput_gops": report.throughput_gops,
+        "energy_joules": report.energy_joules,
+        "energy_efficiency_gops_per_joule": report.energy_efficiency_gops_per_joule,
+        "area_efficiency_gops_per_mm2": report.area_efficiency_gops_per_mm2,
+        "energy": {
+            "core": energy["core"],
+            "buffer": energy["buffer"],
+            "dram": energy["dram"],
+        },
+        "layers": [
+            {
+                "name": layer.layer_name,
+                "compute_cycles": layer.compute_cycles,
+                "memory_cycles": layer.memory_cycles,
+                "total_cycles": layer.total_cycles,
+                "dram_bytes": layer.dram_bytes,
+                "operations": layer.operations,
+            }
+            for layer in report.layers
+        ],
+    }
+
+
+def run_baseline_case(
+    baseline_name: str, workload_spec: tuple[str, str, int, int, int]
+) -> dict:
+    """Simulate one baseline golden case from scratch and return its summary."""
+    from repro.baselines import get_baseline
+
+    model, dataset, batch_size, num_steps, seed = workload_spec
+    workload = generate_workload(
+        model, dataset, batch_size=batch_size, num_steps=num_steps, seed=seed
+    )
+    report = get_baseline(baseline_name, ArchConfig()).simulate(workload)
+    return summarize_baseline(report)
+
+
 def golden_path(case_name: str) -> pathlib.Path:
     """Location of the frozen JSON for one case."""
     return GOLDEN_DIR / f"{case_name}.json"
@@ -138,6 +212,11 @@ def golden_path(case_name: str) -> pathlib.Path:
 def main() -> None:
     for case_name, workload_spec, config_name in GOLDEN_CASES:
         summary = run_case(workload_spec, config_name)
+        path = golden_path(case_name)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} (total_cycles={summary['total_cycles']})")
+    for case_name, baseline_name, workload_spec in GOLDEN_BASELINE_CASES:
+        summary = run_baseline_case(baseline_name, workload_spec)
         path = golden_path(case_name)
         path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path} (total_cycles={summary['total_cycles']})")

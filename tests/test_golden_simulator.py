@@ -69,8 +69,29 @@ def test_simulator_matches_golden(case_name, golden_summaries):
     _assert_matches(golden_summaries[case_name], expected, path=case_name)
 
 
+@pytest.mark.parametrize(
+    "case_name,baseline_name,workload_spec",
+    list(regen.GOLDEN_BASELINE_CASES),
+    ids=[case[0] for case in regen.GOLDEN_BASELINE_CASES],
+)
+def test_baseline_matches_golden(case_name, baseline_name, workload_spec):
+    """Baseline accelerators must stay bit-exact against their goldens.
+
+    The baseline golden files were frozen from the pre-pipeline report
+    classes, so they also pin the port onto ``repro.hw.pipeline``.
+    """
+    golden_file = regen.golden_path(case_name)
+    assert golden_file.exists(), (
+        f"missing golden file {golden_file}; run tests/golden/regen.py"
+    )
+    expected = json.loads(golden_file.read_text())
+    actual = regen.run_baseline_case(baseline_name, workload_spec)
+    _assert_matches(actual, expected, path=case_name)
+
+
 def test_golden_files_cover_all_cases():
     """Every declared case has a frozen file and vice versa."""
     declared = {case[0] for case in regen.GOLDEN_CASES}
+    declared |= {case[0] for case in regen.GOLDEN_BASELINE_CASES}
     on_disk = {p.stem for p in regen.GOLDEN_DIR.glob("*.json")}
     assert on_disk == declared

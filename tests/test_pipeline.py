@@ -1,0 +1,367 @@
+"""Tests for the unified accelerator-model pipeline (`repro.hw.pipeline`).
+
+Covers the stage/pipeline composition machinery, the canonical
+result-schema math, the batched ``simulate_many`` paths, and — the
+structural acceptance criterion — that every accelerator implements the
+:class:`~repro.hw.pipeline.AcceleratorModel` interface and that no
+experiment harness or report module bypasses it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.baselines import BASELINE_CLASSES, BaselineAccelerator, get_baseline
+from repro.hw import ArchConfig, EnergyBreakdown, PhiSimulator
+from repro.hw.pipeline import (
+    AcceleratorModel,
+    LayerContext,
+    LayerResult,
+    Pipeline,
+    RunResult,
+    Stage,
+    StageRecord,
+)
+from repro.runner import SweepEngine, simulate_many, simulate_point
+from repro.runner.engine import _pending_batches
+from repro.workloads import generate_random_workload
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+# --------------------------------------------------------------------- #
+# Stage / Pipeline machinery
+# --------------------------------------------------------------------- #
+class _RecordingStage:
+    def __init__(self, name, builds_result=False):
+        self.name = name
+        self.builds_result = builds_result
+
+    def run(self, ctx):
+        ctx.scratch.setdefault("order", []).append(self.name)
+        if self.builds_result:
+            ctx.result = LayerResult(layer_name="toy", compute_cycles=1.0)
+        return StageRecord(name=self.name, cycles=1.0)
+
+
+class TestPipeline:
+    def test_stages_run_in_order_and_records_attach(self):
+        pipeline = Pipeline(
+            [_RecordingStage("a"), _RecordingStage("b", builds_result=True)]
+        )
+        ctx = LayerContext(layer=None)
+        result = pipeline.run_layer(ctx)
+        assert ctx.scratch["order"] == ["a", "b"]
+        assert [record.name for record in result.stages] == ["a", "b"]
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate stage names"):
+            Pipeline([_RecordingStage("a"), _RecordingStage("a")])
+
+    def test_pipeline_without_result_builder_raises(self):
+        pipeline = Pipeline([_RecordingStage("a")])
+        with pytest.raises(RuntimeError, match="without a stage building"):
+            pipeline.run_layer(LayerContext(layer=None))
+
+    def test_stages_satisfy_the_protocol(self):
+        assert isinstance(_RecordingStage("a"), Stage)
+
+
+# --------------------------------------------------------------------- #
+# Canonical result schema math
+# --------------------------------------------------------------------- #
+def _layer(name="l0", compute=100.0, memory=50.0, operations=1000, **kwargs):
+    return LayerResult(
+        layer_name=name,
+        compute_cycles=compute,
+        memory_cycles=memory,
+        operations=operations,
+        **kwargs,
+    )
+
+
+class TestLayerResult:
+    def test_total_cycles_is_compute_memory_max(self):
+        assert _layer(compute=10.0, memory=25.0).total_cycles == 25.0
+        assert _layer(compute=30.0, memory=25.0).total_cycles == 30.0
+
+    def test_dram_bytes_sums_traffic_components(self):
+        layer = _layer(
+            activation_bytes=1.0,
+            weight_bytes=2.0,
+            pwp_bytes_prefetched=3.0,
+            output_bytes=4.0,
+            psum_spill_bytes=5.0,
+        )
+        assert layer.dram_bytes == 15.0
+
+
+class TestRunResult:
+    def _result(self, **kwargs):
+        params = {
+            "accelerator": "toy",
+            "model_name": "m",
+            "dataset_name": "d",
+            "frequency_hz": 1e9,
+            "area_mm2": 2.0,
+            "layers": [
+                _layer("l0", compute=100.0, memory=50.0, operations=1000),
+                _layer("l1", compute=200.0, memory=300.0, operations=3000),
+            ],
+        }
+        params.update(kwargs)
+        return RunResult(**params)
+
+    def test_derived_metrics(self):
+        result = self._result(
+            run_energy=EnergyBreakdown(core=1e-9, buffer=2e-9, dram=1e-9)
+        )
+        assert result.total_cycles == 400.0
+        assert result.runtime_seconds == 400.0 / 1e9
+        assert result.total_operations == 4000
+        assert result.throughput_gops == pytest.approx(4000 / 400e-9 / 1e9)
+        assert result.energy_joules == pytest.approx(4e-9)
+        assert result.energy_efficiency_gops_per_joule == pytest.approx(
+            4000 / 4e-9 / 1e9
+        )
+        assert result.area_efficiency_gops_per_mm2 == pytest.approx(
+            result.throughput_gops / 2.0
+        )
+        assert result.energy_breakdown() == {
+            "core": 1e-9,
+            "buffer": 2e-9,
+            "dram": 1e-9,
+        }
+
+    def test_zero_division_guards(self):
+        empty = RunResult(accelerator="toy", frequency_hz=1e9)
+        assert empty.throughput_gops == 0.0
+        assert empty.energy_efficiency_gops_per_joule == 0.0
+        assert empty.area_efficiency_gops_per_mm2 == 0.0
+
+    def test_layer_energy_fold_used_without_run_energy(self):
+        result = self._result()
+        result.layers[0].energy = EnergyBreakdown(core=1.0, buffer=2.0, dram=3.0)
+        result.layers[1].energy = EnergyBreakdown(core=0.5, buffer=0.5, dram=0.5)
+        assert result.energy_joules == pytest.approx(7.5)
+        assert result.core_energy == pytest.approx(1.5)
+
+    def test_frequency_derived_from_config(self):
+        arch = ArchConfig()
+        result = RunResult(accelerator="phi", config=arch)
+        assert result.frequency_hz == arch.frequency_hz
+
+
+# --------------------------------------------------------------------- #
+# The Phi stage graph
+# --------------------------------------------------------------------- #
+class TestPhiStageGraph:
+    @pytest.fixture(scope="class")
+    def phi_layer_result(self):
+        workload = generate_random_workload(density=0.2, m=64, k=32, n=16, seed=0)
+        from repro.core import PhiConfig
+
+        simulator = PhiSimulator(
+            ArchConfig(),
+            PhiConfig(partition_size=16, num_patterns=8, calibration_samples=500),
+        )
+        return simulator.simulate_layer(workload[0])
+
+    def test_stage_names(self, phi_layer_result):
+        assert [record.name for record in phi_layer_result.stages] == [
+            "tiling",
+            "preprocess",
+            "compute",
+            "dram",
+            "energy",
+        ]
+
+    def test_stage_records_cross_check_the_layer(self, phi_layer_result):
+        stages = {record.name: record for record in phi_layer_result.stages}
+        assert stages["preprocess"].cycles == phi_layer_result.preprocessor_cycles
+        assert stages["compute"].cycles == phi_layer_result.compute_cycles
+        assert stages["dram"].cycles == phi_layer_result.memory_cycles
+        assert stages["dram"].dram_bytes == phi_layer_result.dram_bytes
+        assert stages["energy"].energy_joules == phi_layer_result.energy.total
+
+
+# --------------------------------------------------------------------- #
+# Batched simulation
+# --------------------------------------------------------------------- #
+class TestSimulateMany:
+    def test_model_level_batch_matches_per_workload_calls(self):
+        workloads = [
+            generate_random_workload(density=0.1, m=64, k=32, n=16, seed=s)
+            for s in (0, 1)
+        ]
+        model = get_baseline("eyeriss")
+        batched = model.simulate_many(workloads)
+        single = [model.simulate(w) for w in workloads]
+        for a, b in zip(batched, single):
+            assert a.total_cycles == b.total_cycles
+            assert a.energy_joules == b.energy_joules
+
+    def test_engine_batch_matches_per_point_execution(self, tiny_points):
+        batched = SweepEngine(jobs=1).run(tiny_points)
+        per_point = [simulate_point(point) for point in tiny_points]
+        assert json.loads(json.dumps(batched)) == json.loads(
+            json.dumps(per_point)
+        )
+
+    def test_simulate_many_preserves_order(self, tiny_points):
+        records = simulate_many(tiny_points)
+        assert [r["accelerator"] for r in records] == [
+            p.accelerator for p in tiny_points
+        ]
+
+    @pytest.fixture(scope="class")
+    def tiny_points(self):
+        from repro.experiments.common import TINY
+        from repro.runner import SweepPoint, WorkloadSpec
+
+        spec = WorkloadSpec("vgg16", "cifar10", batch_size=2, num_steps=2)
+        return [
+            SweepPoint(workload=spec, arch=TINY.arch_config(), phi=TINY.phi_config()),
+            SweepPoint(workload=spec, arch=TINY.arch_config(), accelerator="eyeriss"),
+            SweepPoint(workload=spec, arch=TINY.arch_config(), accelerator="stellar"),
+        ]
+
+
+class TestPendingBatches:
+    def _points(self, specs):
+        from repro.experiments.common import TINY
+        from repro.runner import SweepPoint
+
+        return [
+            SweepPoint(workload=spec, arch=TINY.arch_config(), phi=TINY.phi_config())
+            for spec in specs
+        ]
+
+    def test_groups_by_base_workload(self):
+        from dataclasses import replace
+
+        from repro.runner import WorkloadSpec
+
+        base = WorkloadSpec("vgg16", "cifar10", batch_size=2, num_steps=2)
+        other = WorkloadSpec("resnet18", "cifar10", batch_size=2, num_steps=2)
+        paft = replace(base, paft_strength=0.5)
+        points = self._points([base, other, paft])
+        pending = {f"k{i}": [i] for i in range(len(points))}
+        batches = _pending_batches(points, pending, jobs=1)
+        # The PAFT variant rides with its base workload's batch.
+        assert sorted(map(sorted, batches)) == [["k0", "k2"], ["k1"]]
+
+    def test_splits_groups_when_fewer_than_jobs(self):
+        from repro.runner import WorkloadSpec
+
+        base = WorkloadSpec("vgg16", "cifar10", batch_size=2, num_steps=2)
+        points = self._points([base] * 4)
+        pending = {f"k{i}": [i] for i in range(4)}
+        batches = _pending_batches(points, pending, jobs=4)
+        assert len(batches) == 4
+        assert sorted(key for batch in batches for key in batch) == [
+            "k0",
+            "k1",
+            "k2",
+            "k3",
+        ]
+
+
+# --------------------------------------------------------------------- #
+# Structural enforcement: nothing bypasses AcceleratorModel
+# --------------------------------------------------------------------- #
+class TestAcceleratorModelInterface:
+    """Acceptance criterion: one interface, no bypasses anywhere."""
+
+    #: Tokens that would mean a module is building or driving an
+    #: accelerator model directly instead of going through the sweep
+    #: engine's records.
+    FORBIDDEN = (
+        "PhiSimulator",
+        "PhiAccelerator",
+        "get_baseline",
+        "get_accelerator",
+        "BaselineAccelerator",
+        "SpikingEyeriss(",
+        "PTB(",
+        "SATO(",
+        "SpinalFlow(",
+        "Stellar(",
+        ".simulate(",
+        ".simulate_layer(",
+        ".run_layer(",
+    )
+
+    def test_phi_simulator_implements_the_interface(self):
+        assert issubclass(PhiSimulator, AcceleratorModel)
+
+    def test_every_baseline_implements_the_interface(self):
+        for name, cls in BASELINE_CLASSES.items():
+            assert issubclass(cls, AcceleratorModel), name
+
+    def test_baselines_do_not_bypass_the_shared_pipeline(self):
+        """Baselines customise stages/hooks, never the simulate entry points."""
+        for name, cls in BASELINE_CLASSES.items():
+            assert cls.simulate is BaselineAccelerator.simulate, name
+            assert cls.simulate_layer is BaselineAccelerator.simulate_layer, name
+
+    def test_inconsistent_dram_override_fails_loudly(self):
+        """layer_dram_bytes overrides that desync latency from the traffic
+        component fields must raise, not silently disagree."""
+
+        class BrokenTraffic(BaselineAccelerator):
+            name = "broken"
+
+            def layer_compute_cycles(self, layer):
+                return 1.0
+
+            def layer_dram_bytes(self, layer):
+                return 1e6  # not the sum of the component fields
+
+        workload = generate_random_workload(density=0.2, m=16, k=16, n=8, seed=0)
+        with pytest.raises(ValueError, match="disagrees"):
+            BrokenTraffic().simulate_layer(workload[0])
+
+    def test_models_emit_canonical_results(self):
+        workload = generate_random_workload(density=0.2, m=32, k=32, n=8, seed=7)
+        for name in BASELINE_CLASSES:
+            result = get_baseline(name).simulate(workload)
+            assert isinstance(result, RunResult), name
+            assert result.accelerator == name
+            for layer in result.layers:
+                assert isinstance(layer, LayerResult), name
+                assert [record.name for record in layer.stages] == [
+                    "compute",
+                    "dram",
+                ], name
+
+    def test_no_harness_or_report_module_touches_models_directly(self):
+        offenders = []
+        for package in ("experiments", "report"):
+            for path in sorted((SRC / package).glob("*.py")):
+                source = path.read_text()
+                for token in self.FORBIDDEN:
+                    if token in source:
+                        offenders.append(f"{package}/{path.name}: {token}")
+        assert not offenders, (
+            "experiment harnesses and report modules must consume the "
+            "canonical sweep records, not accelerator models; found "
+            f"{offenders}"
+        )
+
+    def test_engine_is_the_only_runner_module_building_models(self):
+        offenders = []
+        for path in sorted((SRC / "runner").glob("*.py")):
+            if path.name == "engine.py":
+                continue
+            source = path.read_text()
+            for token in self.FORBIDDEN:
+                if token in source:
+                    offenders.append(f"runner/{path.name}: {token}")
+        assert not offenders, (
+            "model_for() in runner/engine.py is the single place "
+            f"accelerator models are built; found {offenders}"
+        )

@@ -198,3 +198,95 @@ class TestSweepEngineExecution:
         serial = SweepEngine(jobs=1).run(points)
         parallel = SweepEngine(jobs=2).run(points)
         assert json.loads(json.dumps(serial)) == json.loads(json.dumps(parallel))
+
+
+class TestRecordSchemaV3:
+    """Cache schema v3: canonical records, validation, v2 invalidation."""
+
+    def test_every_accelerator_record_is_valid_and_uniform(self):
+        phi = engine_module.simulate_point(tiny_point())
+        baseline = engine_module.simulate_point(
+            tiny_point(accelerator="eyeriss", phi=None)
+        )
+        for record in (phi, baseline):
+            assert record["schema"] == engine_module.CACHE_SCHEMA_VERSION
+            assert engine_module.validate_record(record) == []
+            assert record["layers"], "v3 records carry per-layer entries"
+        # The baseline record now exposes the same aggregate surface as Phi.
+        baseline_only = set(phi) - set(baseline)
+        assert baseline_only == {"operation_counts", "breakdown"}, (
+            "only the Phi-specific decomposition aggregates may differ"
+        )
+
+    def test_decomposition_record_is_valid(self):
+        record = engine_module.simulate_point(
+            tiny_point(accelerator=engine_module.DECOMPOSITION)
+        )
+        assert record["schema"] == engine_module.CACHE_SCHEMA_VERSION
+        assert engine_module.validate_record(record) == []
+
+    def test_validate_record_flags_missing_keys(self):
+        record = engine_module.simulate_point(tiny_point())
+        del record["total_cycles"]
+        del record["layers"][0]["operations"]
+        problems = engine_module.validate_record(record)
+        assert any("total_cycles" in p for p in problems)
+        assert any("layers[0]" in p for p in problems)
+
+    def test_validate_record_flags_incomplete_energy_split(self):
+        record = engine_module.simulate_point(tiny_point())
+        record["energy"] = {"core": 1.0, "buffer": 2.0, "total": 3.0}  # no dram
+        problems = engine_module.validate_record(record)
+        assert any("energy" in p for p in problems)
+
+    def test_validate_record_reports_stale_schema(self):
+        problems = engine_module.validate_record({"accelerator": "phi", "schema": 2})
+        assert problems == ["schema is 2, expected 3"]
+
+    def test_v2_entries_are_ignored_not_crashed_on(self, tmp_path, monkeypatch):
+        """A cache dir with pre-v3 entries stays usable: old records are
+        dead keys, never hits, and validate-cache counts them as legacy."""
+        from repro.runner.cli import main
+
+        cache = ResultCache(tmp_path)
+        # A v2-era record under its old key: no "schema" field, baseline
+        # records had no layers.
+        cache.put(
+            "ab" * 32,
+            {"accelerator": "eyeriss", "total_cycles": 1.0, "throughput_gops": 2.0},
+        )
+
+        calls = []
+
+        def fake_simulate(point):
+            calls.append(point)
+            return {"schema": engine_module.CACHE_SCHEMA_VERSION, "x": 1}
+
+        monkeypatch.setattr(engine_module, "simulate_point", fake_simulate)
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        engine.run_one(tiny_point(accelerator="eyeriss", phi=None))
+        assert len(calls) == 1, "stale v2 entry must not satisfy a v3 key"
+        assert engine.stats.cache_hits == 0
+
+        assert main(["validate-cache", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_validate_cache_cli_fails_on_invalid_v3_record(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        cache = ResultCache(tmp_path)
+        cache.put(
+            "cd" * 32,
+            {"schema": engine_module.CACHE_SCHEMA_VERSION, "accelerator": "phi"},
+        )
+        assert main(["validate-cache", "--cache-dir", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "INVALID" in captured.err
+
+    def test_validate_cache_cli_passes_on_real_records(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        engine.run([tiny_point(), tiny_point(accelerator="sato", phi=None)])
+        assert main(["validate-cache", "--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "2 valid v3 records" in captured.out
