@@ -1,0 +1,32 @@
+"""Benchmark trajectory for the sweep engine (``python -m repro.bench``).
+
+The bench subsystem times the canonical sweep scenarios — serial cold,
+parallel cold, cold result cache with a warm artifact store, and fully
+warm — in isolated subprocesses with scenario-controlled cache/store
+directories, and appends machine-readable entries to ``BENCH_sweep.json``
+so performance wins (and regressions) are tracked across commits.  CI
+runs the TINY scenarios and fails when the serial wall time regresses
+more than 2x against the committed ``benchmarks/bench_baseline.json``.
+"""
+
+from .cli import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_OUTPUT,
+    SCENARIOS,
+    BenchResult,
+    append_results,
+    check_against_baseline,
+    main,
+    run_scenario,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchResult",
+    "DEFAULT_OUTPUT",
+    "SCENARIOS",
+    "append_results",
+    "check_against_baseline",
+    "main",
+    "run_scenario",
+]

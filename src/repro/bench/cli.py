@@ -1,0 +1,342 @@
+"""Scenario runner and CLI of the benchmark trajectory.
+
+Each scenario executes ``python -m repro.runner <experiment>`` in a fresh
+subprocess so in-process memos (workload ``lru_cache``, calibration memo)
+can never leak warmth between scenarios; what *is* warm is controlled
+purely through the cache and store directories handed to each run:
+
+==============  ============  ============  ====
+scenario        result cache  artifacts     jobs
+==============  ============  ============  ====
+serial_cold     fresh         fresh         1
+parallel_cold   fresh         fresh         N
+warm_store      fresh         kept          1
+fully_warm      kept          kept          1
+==============  ============  ============  ====
+
+``warm_store`` is the headline scenario of the artifact store: every
+simulation still runs (the result cache is empty) but workloads,
+calibrations and decompositions load from disk instead of being
+recomputed.
+
+Examples
+--------
+Append the SMALL trajectory to ``BENCH_sweep.json``::
+
+    python -m repro.bench --scale small --jobs 4
+
+CI smoke run: TINY scenarios checked against the committed baseline::
+
+    python -m repro.bench --scale tiny --jobs 2 \
+        --check benchmarks/bench_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+
+#: Bump when the entry layout in ``BENCH_sweep.json`` changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Scenario execution order (``warm_store``/``fully_warm`` reuse the
+#: directories the first cold run populated).
+SCENARIOS = ("serial_cold", "parallel_cold", "warm_store", "fully_warm")
+
+#: Default trajectory file, kept at the repository root.
+DEFAULT_OUTPUT = "BENCH_sweep.json"
+
+_STATS_RE = re.compile(
+    r"(?P<points>\d+) points, (?P<hits>\d+) cache hits, "
+    r"(?P<executed>\d+) simulated, (?P<sweep>[\d.]+)s wall-clock"
+)
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed scenario, as appended to ``BENCH_sweep.json``."""
+
+    schema: int
+    timestamp: str
+    experiment: str
+    scale: str
+    scenario: str
+    jobs: int
+    wall_seconds: float
+    sweep_seconds: float | None
+    points: int | None
+    cache_hits: int | None
+    executed: int | None
+    code_version: str
+    python: str
+    cpu_count: int
+
+
+def _runner_command(
+    experiment: str,
+    scale: str,
+    jobs: int,
+    cache_dir: pathlib.Path,
+    store_dir: pathlib.Path,
+) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.runner",
+        experiment,
+        "--scale",
+        scale,
+        "--jobs",
+        str(jobs),
+        "--cache-dir",
+        str(cache_dir),
+        "--store-dir",
+        str(store_dir),
+        "--quiet",
+    ]
+
+
+def run_scenario(
+    scenario: str,
+    *,
+    experiment: str = "fig7",
+    scale: str = "small",
+    jobs: int = 4,
+    workdir: pathlib.Path,
+) -> BenchResult:
+    """Time one scenario in a fresh subprocess.
+
+    Parameters
+    ----------
+    scenario:
+        One of :data:`SCENARIOS`.
+    experiment:
+        ``python -m repro.runner`` subcommand to time.
+    scale:
+        Experiment scale tier name.
+    jobs:
+        Worker count used by the ``parallel_cold`` scenario (the others
+        run serial by design).
+    workdir:
+        Scratch directory holding the scenario-controlled ``cache`` and
+        ``store`` subdirectories.  Cold scenarios wipe them; warm ones
+        reuse whatever previous scenarios left behind.
+
+    Returns
+    -------
+    BenchResult
+        Wall-clock measurement plus the engine's own stats line.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")
+    from .. import __version__
+
+    cache_dir = workdir / "cache"
+    store_dir = workdir / "store"
+    if scenario in ("serial_cold", "parallel_cold"):
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(store_dir, ignore_errors=True)
+    elif scenario == "warm_store":
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    scenario_jobs = jobs if scenario == "parallel_cold" else 1
+    command = _runner_command(experiment, scale, scenario_jobs, cache_dir, store_dir)
+    start = time.perf_counter()
+    completed = subprocess.run(
+        command, capture_output=True, text=True, env=os.environ.copy()
+    )
+    wall = time.perf_counter() - start
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"benchmark run failed ({' '.join(command)}):\n{completed.stderr}"
+        )
+    match = _STATS_RE.search(completed.stdout)
+    return BenchResult(
+        schema=BENCH_SCHEMA_VERSION,
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        experiment=experiment,
+        scale=scale,
+        scenario=scenario,
+        jobs=scenario_jobs,
+        wall_seconds=round(wall, 3),
+        sweep_seconds=float(match.group("sweep")) if match else None,
+        points=int(match.group("points")) if match else None,
+        cache_hits=int(match.group("hits")) if match else None,
+        executed=int(match.group("executed")) if match else None,
+        code_version=__version__,
+        python=platform.python_version(),
+        cpu_count=os.cpu_count() or 1,
+    )
+
+
+def append_results(results: list[BenchResult], output: pathlib.Path) -> None:
+    """Append entries to the trajectory file (a JSON array), atomically."""
+    entries: list[dict] = []
+    if output.exists():
+        try:
+            entries = json.loads(output.read_text())
+        except ValueError:
+            entries = []
+        if not isinstance(entries, list):
+            entries = []
+    entries.extend(asdict(result) for result in results)
+    fd, tmp_name = tempfile.mkstemp(dir=output.parent or None, suffix=".tmp")
+    with os.fdopen(fd, "w") as handle:
+        json.dump(entries, handle, indent=1)
+        handle.write("\n")
+    os.replace(tmp_name, output)
+
+
+def check_against_baseline(
+    results: list[BenchResult], baseline_path: pathlib.Path, *, factor: float = 2.0
+) -> list[str]:
+    """Compare measured scenarios against a committed baseline.
+
+    The baseline maps ``"<experiment>/<scale>/<scenario>"`` to a
+    reference ``wall_seconds``; a measurement fails when it exceeds
+    ``factor`` times its reference.  Scenarios without a baseline entry
+    pass (the trajectory may grow scenarios before the baseline does).
+
+    Returns
+    -------
+    list of str
+        One human-readable failure per regressed scenario; empty when
+        everything is within budget.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for result in results:
+        key = f"{result.experiment}/{result.scale}/{result.scenario}"
+        reference = baseline.get(key)
+        if reference is None:
+            continue
+        budget = float(reference) * factor
+        if result.wall_seconds > budget:
+            failures.append(
+                f"{key}: {result.wall_seconds:.2f}s exceeds {budget:.2f}s "
+                f"({factor:g}x the {float(reference):.2f}s baseline)"
+            )
+    return failures
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.bench`` argument parser."""
+    from ..experiments.common import SCALE_TIERS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time canonical sweep scenarios and append BENCH_sweep.json.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=tuple(SCALE_TIERS),
+        default="small",
+        help="experiment scale tier (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=4,
+        help="workers for the parallel_cold scenario (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="fig7",
+        help="repro.runner subcommand to time (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=",".join(SCENARIOS),
+        help="comma-separated scenario subset, in order (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=DEFAULT_OUTPUT,
+        help="trajectory file to append to (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        help="scratch directory for scenario caches (default: a temp dir)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="fail (exit 1) when a scenario exceeds 2x this baseline file",
+    )
+    parser.add_argument(
+        "--no-append",
+        action="store_true",
+        help="print results without touching the trajectory file",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected scenarios; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    scenarios = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    unknown = [name for name in scenarios if name not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenarios: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    if args.workdir is not None:
+        workdir = pathlib.Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-bench-")
+        workdir = pathlib.Path(cleanup.name)
+
+    try:
+        results = []
+        for scenario in scenarios:
+            result = run_scenario(
+                scenario,
+                experiment=args.experiment,
+                scale=args.scale,
+                jobs=args.jobs,
+                workdir=workdir,
+            )
+            results.append(result)
+            print(
+                f"{result.experiment}/{result.scale}/{result.scenario} "
+                f"(jobs={result.jobs}): {result.wall_seconds:.2f}s wall, "
+                f"sweep {result.sweep_seconds}s, "
+                f"{result.cache_hits}/{result.points} cache hits"
+            )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    if not args.no_append:
+        append_results(results, pathlib.Path(args.output))
+        print(f"appended {len(results)} entries to {args.output}")
+
+    if args.check:
+        failures = check_against_baseline(results, pathlib.Path(args.check))
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"all scenarios within 2x of {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

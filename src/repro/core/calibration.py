@@ -17,7 +17,7 @@ import numpy as np
 
 from .config import PhiConfig
 from .kmeans import cluster_partition
-from .patterns import PatternSet
+from .patterns import PatternSet, is_binary_matrix
 from .sparsity import MatrixDecomposition, decompose_matrix, partition_boundaries
 
 
@@ -141,7 +141,7 @@ class PhiCalibrator:
             raise ValueError("activations must be a 2-D binary matrix")
         if activations.shape[0] == 0 or activations.shape[1] == 0:
             raise ValueError("activations must be non-empty")
-        if not np.all(np.isin(np.unique(activations), (0, 1))):
+        if not is_binary_matrix(activations):
             raise ValueError("activations must contain only 0/1 values")
         activations = activations.astype(np.uint8)
 

@@ -84,6 +84,27 @@ def hamming_distance_matrix(rows: np.ndarray, centers: np.ndarray) -> np.ndarray
     return (row_pop + center_pop - 2 * cross).astype(np.int64)
 
 
+def unique_binary_rows(rows: np.ndarray) -> np.ndarray:
+    """Sorted unique rows of a binary matrix (fast ``np.unique(axis=0)``).
+
+    Bit-packing each row into big-endian bytes preserves lexicographic
+    row order exactly (the first differing bit decides the comparison in
+    both representations, and the zero padding bits can only tie), so a
+    1-D unique over the packed bytes followed by unpacking returns the
+    byte-for-byte identical result of ``np.unique(rows, axis=0)`` while
+    sorting 8x fewer elements.
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    if rows.ndim != 2:
+        raise ValueError("rows must be 2-D")
+    if rows.shape[0] == 0 or rows.shape[1] == 0:
+        return np.unique(rows, axis=0)
+    packed = np.packbits(rows, axis=1)
+    as_void = packed.view(np.dtype((np.void, packed.shape[1]))).ravel()
+    unique_packed = np.unique(as_void).view(np.uint8).reshape(-1, packed.shape[1])
+    return np.unpackbits(unique_packed, axis=1, count=rows.shape[1])
+
+
 def filter_calibration_rows(
     rows: np.ndarray,
     *,
@@ -108,9 +129,15 @@ def filter_calibration_rows(
     return rows[keep]
 
 
-def _init_centers(rows: np.ndarray, q: int, rng: np.random.Generator) -> np.ndarray:
+def _init_centers(
+    rows: np.ndarray,
+    q: int,
+    rng: np.random.Generator,
+    unique_rows: np.ndarray | None = None,
+) -> np.ndarray:
     """Initialise ``q`` centres from distinct rows where possible."""
-    unique_rows = np.unique(rows, axis=0)
+    if unique_rows is None:
+        unique_rows = unique_binary_rows(rows)
     if unique_rows.shape[0] >= q:
         idx = rng.choice(unique_rows.shape[0], size=q, replace=False)
         return unique_rows[idx].copy()
@@ -125,6 +152,8 @@ def binary_kmeans(
     rows: np.ndarray,
     num_clusters: int,
     config: KMeansConfig | None = None,
+    *,
+    unique_rows: np.ndarray | None = None,
 ) -> ClusteringResult:
     """Cluster binary rows with Hamming-distance k-means (Algorithm 1).
 
@@ -137,6 +166,10 @@ def binary_kmeans(
         Number of clusters ``q`` to produce.
     config:
         Clustering hyper-parameters; defaults to :class:`KMeansConfig`.
+    unique_rows:
+        Optional precomputed ``unique_binary_rows(rows)``; callers that
+        already deduplicated the rows pass it so centre initialisation
+        does not repeat the work.
 
     Returns
     -------
@@ -154,26 +187,44 @@ def binary_kmeans(
         raise ValueError("num_clusters must be >= 1")
 
     rng = np.random.default_rng(config.seed)
-    centers = _init_centers(rows, num_clusters, rng)
+    centers = _init_centers(rows, num_clusters, rng, unique_rows)
     assignments = np.zeros(rows.shape[0], dtype=np.int64)
     n_rows = rows.shape[0]
+    num_cols = rows.shape[1]
     iterations = 0
+
+    # The row side of every distance computation and centre update is
+    # loop-invariant: hoist the float operands of the Hamming GEMM (see
+    # hamming_distance_matrix for why float64 is exact here) and the
+    # nonzero coordinates driving the per-cluster bit sums.
+    rows_f = rows.astype(np.float64)
+    row_pop = rows_f.sum(axis=1, keepdims=True)
+    nonzero_rows, nonzero_cols = np.nonzero(rows)
+
+    def distances_to(current_centers: np.ndarray) -> np.ndarray:
+        centers_f = current_centers.astype(np.float64)
+        cross = rows_f @ centers_f.T
+        center_pop = centers_f.sum(axis=1, keepdims=True).T
+        return (row_pop + center_pop - 2 * cross).astype(np.int64)
 
     for iteration in range(config.max_iterations):
         iterations = iteration + 1
-        distances = hamming_distance_matrix(rows, centers)
+        distances = distances_to(centers)
         new_assignments = distances.argmin(axis=1)
 
         changed = int(np.count_nonzero(new_assignments != assignments))
         assignments = new_assignments
 
         # Update each centre as the rounded mean of its members, in one
-        # pass: per-cluster bit sums via a scatter-add, then the exact
-        # integer form of the >= 0.5 rounding (2 * sum >= count).
+        # pass: per-cluster bit sums via bincount over the (cluster,
+        # column) pairs of every 1 bit, then the exact integer form of
+        # the >= 0.5 rounding (2 * sum >= count).
         new_centers = centers.copy()
         counts = np.bincount(assignments, minlength=num_clusters)
-        sums = np.zeros((num_clusters, rows.shape[1]), dtype=np.int64)
-        np.add.at(sums, assignments, rows.astype(np.int64))
+        sums = np.bincount(
+            assignments[nonzero_rows] * num_cols + nonzero_cols,
+            minlength=num_clusters * num_cols,
+        ).reshape(num_clusters, num_cols)
         occupied = counts > 0
         new_centers[occupied] = (
             2 * sums[occupied] >= counts[occupied, None]
@@ -191,7 +242,7 @@ def binary_kmeans(
         if converged or (iteration > 0 and changed <= config.tolerance * n_rows):
             break
 
-    distances = hamming_distance_matrix(rows, centers)
+    distances = distances_to(centers)
     assignments = distances.argmin(axis=1)
     inertia = int(distances[np.arange(n_rows), assignments].sum())
     return ClusteringResult(
@@ -229,11 +280,11 @@ def cluster_partition(
         width = rows.shape[1] if rows.ndim == 2 else 1
         return PatternSet(np.ones((1, width), dtype=np.uint8))
 
-    unique_rows = np.unique(filtered, axis=0)
+    unique_rows = unique_binary_rows(filtered)
     if unique_rows.shape[0] <= num_patterns:
         return PatternSet(unique_rows)
 
-    result = binary_kmeans(filtered, num_patterns, config)
+    result = binary_kmeans(filtered, num_patterns, config, unique_rows=unique_rows)
     # Deduplicate rounded centres; duplicates waste pattern slots.
-    centers = np.unique(result.centers, axis=0)
+    centers = unique_binary_rows(result.centers)
     return PatternSet(centers)

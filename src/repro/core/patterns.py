@@ -21,13 +21,27 @@ import numpy as np
 NO_PATTERN = 0
 
 
+def is_binary_matrix(arr: np.ndarray) -> bool:
+    """Whether every element of ``arr`` is 0 or 1.
+
+    Equivalent to checking the array's unique values against ``(0, 1)``
+    but without the sort that implies: unsigned integer and boolean
+    arrays only need a max check, everything else a single comparison
+    pass.
+    """
+    if arr.dtype == np.bool_ or arr.dtype.kind == "u":
+        return bool(arr.max(initial=0) <= 1)
+    if arr.dtype.kind == "i":
+        return bool(arr.size == 0 or (arr.max() <= 1 and arr.min() >= 0))
+    return bool(((arr == 0) | (arr == 1)).all())
+
+
 def _validate_binary(matrix: np.ndarray, name: str) -> np.ndarray:
     """Return ``matrix`` as a contiguous uint8 array, checking it is 0/1."""
     arr = np.asarray(matrix)
     if arr.ndim != 2:
         raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
-    unique = np.unique(arr)
-    if not np.all(np.isin(unique, (0, 1))):
+    if not is_binary_matrix(arr):
         raise ValueError(f"{name} must contain only 0/1 values")
     return np.ascontiguousarray(arr, dtype=np.uint8)
 
@@ -95,6 +109,7 @@ class PatternSet:
 
     def __init__(self, patterns: np.ndarray) -> None:
         self._matrix = _validate_binary(patterns, "patterns")
+        self._match_operands: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def matrix(self) -> np.ndarray:
@@ -187,11 +202,13 @@ class PatternSet:
         # instead of materialising the (m, q, k) broadcast tensor.  All
         # intermediates are small integers (bounded by the pattern width),
         # exactly representable in float64, so the result is exact.
+        if self._match_operands is None:
+            patterns_f = self._matrix.astype(np.float64)
+            self._match_operands = (patterns_f, patterns_f.sum(axis=1, keepdims=True).T)
+        patterns_f, pattern_pop = self._match_operands
         rows_f = rows.astype(np.float64)
-        patterns_f = self._matrix.astype(np.float64)
         overlap = rows_f @ patterns_f.T
         row_pop = rows_f.sum(axis=1, keepdims=True)
-        pattern_pop = patterns_f.sum(axis=1, keepdims=True).T
         return (row_pop + pattern_pop - 2 * overlap).astype(np.int64)
 
     def memory_bits(self) -> int:

@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .patterns import NO_PATTERN, PatternSet
+from .patterns import NO_PATTERN, PatternSet, is_binary_matrix
 
 
 @dataclass(frozen=True)
@@ -163,7 +163,7 @@ def decompose_tile(tile: np.ndarray, patterns: PatternSet) -> TileDecomposition:
     tile = np.asarray(tile)
     if tile.ndim != 2:
         raise ValueError(f"tile must be 2-D, got shape {tile.shape}")
-    if not np.all(np.isin(np.unique(tile), (0, 1))):
+    if not is_binary_matrix(tile):
         raise ValueError("tile must be a binary 0/1 matrix")
     tile = tile.astype(np.uint8)
     if tile.shape[1] != patterns.width:
@@ -202,6 +202,73 @@ def decompose_tile(tile: np.ndarray, patterns: PatternSet) -> TileDecomposition:
         patterns=patterns,
         original=tile,
     )
+
+
+def rebuild_tile(
+    tile: np.ndarray, patterns: PatternSet, pattern_indices: np.ndarray
+) -> TileDecomposition:
+    """Reconstruct a tile decomposition from stored pattern assignments.
+
+    The Level 2 matrix is a deterministic function of the tile, the
+    pattern set and the per-row assignments, so persisting only the
+    assignments (see ``repro.runner.store``) and rebuilding here yields
+    the bit-exact :func:`decompose_tile` result at a fraction of its cost
+    (no Hamming matching).
+    """
+    tile = np.asarray(tile).astype(np.uint8)
+    indices = np.asarray(pattern_indices, dtype=np.int32)
+    if indices.shape != (tile.shape[0],):
+        raise ValueError(
+            f"pattern_indices must have shape ({tile.shape[0]},), got {indices.shape}"
+        )
+    level2 = np.zeros(tile.shape, dtype=np.int8)
+    use_pattern = indices != NO_PATTERN
+    assigned = patterns.matrix.astype(np.int16)[indices[use_pattern] - 1]
+    level2[use_pattern] = (tile[use_pattern].astype(np.int16) - assigned).astype(np.int8)
+    level2[~use_pattern] = tile[~use_pattern].astype(np.int8)
+    return TileDecomposition(
+        pattern_indices=indices, level2=level2, patterns=patterns, original=tile
+    )
+
+
+def rebuild_decomposition(
+    activations: np.ndarray,
+    pattern_sets: Sequence[PatternSet],
+    partition_size: int,
+    pattern_index_matrix: np.ndarray,
+) -> MatrixDecomposition:
+    """Reconstruct a full matrix decomposition from stored assignments.
+
+    Parameters
+    ----------
+    activations:
+        Binary matrix of shape ``(M, K)`` (the workload's layer input).
+    pattern_sets:
+        One :class:`PatternSet` per K partition, as used originally.
+    partition_size:
+        Partition width ``k`` used during calibration.
+    pattern_index_matrix:
+        The ``(M, num_partitions)`` assignment matrix produced by
+        :meth:`MatrixDecomposition.pattern_index_matrix`.
+
+    Returns
+    -------
+    MatrixDecomposition
+        Bit-exact equal to ``decompose_matrix(activations, pattern_sets,
+        partition_size)``.
+    """
+    activations = np.asarray(activations)
+    boundaries = partition_boundaries(activations.shape[1], partition_size)
+    if len(pattern_sets) != len(boundaries):
+        raise ValueError(
+            f"expected {len(boundaries)} pattern sets, got {len(pattern_sets)}"
+        )
+    indices = np.asarray(pattern_index_matrix)
+    tiles = tuple(
+        rebuild_tile(activations[:, start:stop], pattern_set, indices[:, p])
+        for p, (pattern_set, (start, stop)) in enumerate(zip(pattern_sets, boundaries))
+    )
+    return MatrixDecomposition(tiles=tiles, boundaries=tuple(boundaries))
 
 
 def partition_boundaries(total_width: int, partition_size: int) -> list[tuple[int, int]]:

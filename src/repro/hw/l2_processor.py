@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .config import ArchConfig
-from .preprocessor import Pack
+from .preprocessor import Pack, PackCounts
 
 
 @dataclass(frozen=True)
@@ -104,6 +104,32 @@ class L2Processor:
             weight_accumulations=weight_acc,
             psum_accumulations=psum_acc,
             adder_tree_additions=additions,
+            weight_bytes_read=float(weight_bytes),
+            psum_bytes_accessed=float(psum_bytes),
+        )
+
+    def process_pack_counts(
+        self, counts: PackCounts, *, output_width: int | None = None
+    ) -> L2Result:
+        """Counter-level :meth:`process_packs` over a tile's pack counts.
+
+        The cycle model only depends on pack and unit totals, so feeding
+        it the :class:`~repro.hw.preprocessor.PackCounts` of a tile yields
+        the exact :class:`L2Result` that processing the materialised packs
+        would.
+        """
+        n = output_width or self.config.tile_n
+        cycles = counts.num_packs
+        if counts.num_packs:
+            cycles += self.PIPELINE_DEPTH
+        weight_bytes = counts.weight_units * n * self.config.weight_bytes
+        psum_bytes = (counts.psum_units + counts.num_packs) * n * self.config.psum_bytes
+        return L2Result(
+            cycles=cycles,
+            packs_processed=counts.num_packs,
+            weight_accumulations=counts.weight_units,
+            psum_accumulations=counts.psum_units,
+            adder_tree_additions=counts.total_units * self.adder_tree.simd_width,
             weight_bytes_read=float(weight_bytes),
             psum_bytes_accessed=float(psum_bytes),
         )

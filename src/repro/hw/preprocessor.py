@@ -266,6 +266,28 @@ class Compressor:
         # The compressor scans one matcher output row per cycle.
         return CompressorResult(rows=rows, cycles=num_rows, filtered_rows=filtered)
 
+    def compress_counts(
+        self, level2: np.ndarray, *, needs_psum: bool = True
+    ) -> CompressedCounts:
+        """Counter-level :meth:`compress`: per-row nonzero counts only.
+
+        The simulator's cycle model never inspects column indices or
+        values, so this fast path skips the per-row object construction
+        entirely while agreeing with :meth:`compress` on every quantity
+        both report (row ids, nonzero counts, cycles, filtered rows).
+        """
+        level2 = np.asarray(level2)
+        num_rows = level2.shape[0]
+        nonzeros = np.count_nonzero(level2, axis=1)
+        kept = np.flatnonzero(nonzeros)
+        return CompressedCounts(
+            row_ids=kept,
+            row_nonzeros=nonzeros[kept],
+            needs_psum=needs_psum,
+            cycles=num_rows,
+            filtered_rows=num_rows - int(kept.size),
+        )
+
 
 @dataclass
 class PackerResult:
@@ -358,6 +380,135 @@ class Packer:
                 finished.append(window)
         return PackerResult(packs=finished, cycles=cycles, evictions=evictions)
 
+    def pack_counts(self, compressed: CompressedCounts) -> PackCounts:
+        """Counter-level :meth:`pack_rows`: pack/unit totals only.
+
+        Runs the identical window-placement and eviction algorithm on
+        plain integers, so the pack count, unit totals, cycle count and
+        eviction count agree exactly with packing the materialised rows
+        (property-tested against :meth:`pack_rows`), without building a
+        single :class:`PackUnit`.
+        """
+        capacity = self.config.pack_size
+        num_windows = self.config.packer_windows
+        num_banks = self.num_banks
+        needs_psum = compressed.needs_psum
+        used = [0] * num_windows
+        banks: list[set[int]] = [set() for _ in range(num_windows)]
+        window_range = range(num_windows)
+        finished = 0
+        evictions = 0
+        cycles = 0
+
+        for row_id, nnz in zip(
+            compressed.row_ids.tolist(), compressed.row_nonzeros.tolist()
+        ):
+            cycles += 1
+            total_units = nnz + 1 if needs_psum else nnz
+            row_bank = row_id % num_banks
+            if total_units <= capacity:  # the common, unsplit case
+                full_chunks = 0
+                last_chunk = total_units
+            else:
+                full_chunks, last_chunk = divmod(total_units, capacity)
+                if last_chunk == 0:
+                    full_chunks -= 1
+                    last_chunk = capacity
+            for chunk in range(full_chunks + 1):
+                num_units = capacity if chunk < full_chunks else last_chunk
+                has_psum = needs_psum and chunk == full_chunks
+                target = -1
+                for i in window_range:
+                    if capacity - used[i] < num_units:
+                        continue
+                    if needs_psum and row_bank in banks[i]:
+                        continue
+                    target = i
+                    break
+                if target < 0:
+                    victim = max(window_range, key=used.__getitem__)
+                    if used[victim]:
+                        finished += 1
+                        evictions += 1
+                    used[victim] = 0
+                    banks[victim] = set()
+                    target = victim
+                used[target] += num_units
+                if has_psum:
+                    banks[target].add(row_bank)
+
+        finished += sum(1 for occupancy in used if occupancy)
+        kept_rows = int(compressed.row_ids.size)
+        return PackCounts(
+            num_packs=finished,
+            weight_units=compressed.total_nonzeros,
+            psum_units=kept_rows if needs_psum else 0,
+            cycles=cycles,
+            evictions=evictions,
+        )
+
+
+@dataclass(frozen=True)
+class CompressedCounts:
+    """Counter-level view of one compressed Level 2 tile.
+
+    Carries exactly the quantities the cycle model consumes — per-row
+    nonzero counts and row ids of the surviving rows — without
+    materialising :class:`CompressedRow` / :class:`PackUnit` objects.
+    Produced by :meth:`Compressor.compress_counts` and consumed by
+    :meth:`Packer.pack_counts`; equivalent (and property-tested against)
+    the object-level :meth:`Compressor.compress` output.
+    """
+
+    row_ids: np.ndarray
+    row_nonzeros: np.ndarray
+    needs_psum: bool
+    cycles: int
+    filtered_rows: int
+
+    @property
+    def total_nonzeros(self) -> int:
+        """Total corrections across all surviving rows."""
+        return int(self.row_nonzeros.sum())
+
+
+@dataclass(frozen=True)
+class PackCounts:
+    """Aggregate packing outcome of one tile (no pack objects).
+
+    The L2 processor's cycle model only depends on the number of packs
+    and the unit totals, so this is all :meth:`Packer.pack_rows` output
+    the simulator ever consumes — computed by :meth:`Packer.pack_counts`
+    with the exact same window/eviction algorithm.
+    """
+
+    num_packs: int
+    weight_units: int
+    psum_units: int
+    cycles: int
+    evictions: int
+
+    @property
+    def total_units(self) -> int:
+        """Weight plus partial-sum units across all packs."""
+        return self.weight_units + self.psum_units
+
+    def merge(self, other: "PackCounts") -> "PackCounts":
+        """Combine the counts of two independent tiles."""
+        return PackCounts(
+            num_packs=self.num_packs + other.num_packs,
+            weight_units=self.weight_units + other.weight_units,
+            psum_units=self.psum_units + other.psum_units,
+            cycles=self.cycles + other.cycles,
+            evictions=self.evictions + other.evictions,
+        )
+
+
+#: Identity element of :meth:`PackCounts.merge`.
+EMPTY_PACK_COUNTS = PackCounts(
+    num_packs=0, weight_units=0, psum_units=0, cycles=0, evictions=0
+)
+
 
 @dataclass
 class PreprocessorResult:
@@ -376,6 +527,21 @@ class PreprocessorResult:
     def packs(self) -> list[Pack]:
         """The Level 2 packs ready for the L2 processor."""
         return self.packer.packs
+
+
+@dataclass(frozen=True)
+class PreprocessorCounts:
+    """Counter-level result of preprocessing one tile.
+
+    The simulator's fast path (:meth:`Preprocessor.process_tile_counts`)
+    carries only the aggregates the cycle and energy models consume.
+    """
+
+    cycles: int
+    comparisons: int
+    total_nonzeros: int
+    filtered_rows: int
+    packs: PackCounts
 
 
 class Preprocessor:
@@ -405,4 +571,32 @@ class Preprocessor:
         packed = self.packer.pack_rows(compressed.rows)
         return PreprocessorResult(
             matcher=matched, compressor=compressed, packer=packed
+        )
+
+    def process_tile_counts(
+        self,
+        tile: np.ndarray,
+        patterns: PatternSet,
+        *,
+        needs_psum: bool = True,
+        decomposition: TileDecomposition | None = None,
+    ) -> PreprocessorCounts:
+        """Counter-level :meth:`process_tile` (the simulator's fast path).
+
+        Produces exactly the aggregates :meth:`process_tile` would report
+        — pipelined cycles, matcher comparisons, Level 2 nonzeros and the
+        :class:`PackCounts` of the packed tile — without materialising
+        compressed rows, pack units or pack objects.
+        """
+        matched = self.matcher.match_tile(tile, patterns, decomposition=decomposition)
+        compressed = self.compressor.compress_counts(
+            matched.level2, needs_psum=needs_psum
+        )
+        packed = self.packer.pack_counts(compressed)
+        return PreprocessorCounts(
+            cycles=max(matched.cycles, compressed.cycles, packed.cycles),
+            comparisons=matched.comparisons,
+            total_nonzeros=compressed.total_nonzeros,
+            filtered_rows=compressed.filtered_rows,
+            packs=packed,
         )

@@ -53,7 +53,7 @@ from .pipeline import (
     RunResult,
     StageRecord,
 )
-from .preprocessor import Preprocessor
+from .preprocessor import EMPTY_PACK_COUNTS, PackCounts, Preprocessor
 
 #: Compatibility aliases: the pre-pipeline result classes are the
 #: canonical schema now (see ``repro.hw.pipeline``).
@@ -78,9 +78,16 @@ class PhiTilingStage:
         """Decompose the layer and record the tile grid in the context."""
         arch = self.simulator.arch
         layer = ctx.layer
-        decomposition = decompose_matrix(
-            layer.activations, ctx.calibration.pattern_sets, arch.tile_k
-        )
+        # A caller that already holds the layer's decomposition (e.g. the
+        # sweep engine's artifact store) seeds it into the context; the
+        # decomposition is a deterministic function of (activations,
+        # patterns, tile_k), so the seeded object is bit-identical to
+        # what this stage would compute.
+        decomposition = ctx.scratch.get("decomposition")
+        if decomposition is None:
+            decomposition = decompose_matrix(
+                layer.activations, ctx.calibration.pattern_sets, arch.tile_k
+            )
         boundaries = partition_boundaries(layer.k, arch.tile_k)
         m_tiles = [
             (m_start, min(m_start + arch.tile_m, layer.m))
@@ -119,30 +126,30 @@ class PhiPreprocessStage:
         self.simulator = simulator
 
     def run(self, ctx: LayerContext) -> StageRecord:
-        """Produce the per-M-tile pack lists and preprocessing counters."""
+        """Produce the per-M-tile pack counts and preprocessing counters."""
         preprocessor = self.simulator.preprocessor
         decomposition = ctx.scratch["decomposition"]
         boundaries = ctx.scratch["boundaries"]
 
-        packs_per_tile: list[list] = []
+        packs_per_tile: list[PackCounts] = []
         preproc_cycles = 0.0
         match_comparisons = 0
         l2_nonzeros_total = 0
         for m_start, m_stop in ctx.scratch["m_tiles"]:
-            tile_packs = []
+            tile_packs = EMPTY_PACK_COUNTS
             tile_preproc = 0.0
             for p, _ in enumerate(boundaries):
                 sub_decomposition = decomposition.tiles[p].row_slice(m_start, m_stop)
-                result = preprocessor.process_tile(
+                result = preprocessor.process_tile_counts(
                     sub_decomposition.original,
                     ctx.calibration.pattern_sets[p],
                     needs_psum=(p > 0),
                     decomposition=sub_decomposition,
                 )
-                tile_packs.extend(result.packs)
+                tile_packs = tile_packs.merge(result.packs)
                 tile_preproc += result.cycles
-                match_comparisons += result.matcher.comparisons
-                l2_nonzeros_total += result.compressor.total_nonzeros
+                match_comparisons += result.comparisons
+                l2_nonzeros_total += result.total_nonzeros
             packs_per_tile.append(tile_packs)
             preproc_cycles += tile_preproc
 
@@ -158,7 +165,7 @@ class PhiPreprocessStage:
             detail={
                 "match_comparisons": match_comparisons,
                 "l2_nonzeros": l2_nonzeros_total,
-                "packs": sum(len(p) for p in packs_per_tile),
+                "packs": sum(counts.num_packs for counts in packs_per_tile),
             },
         )
 
@@ -197,7 +204,9 @@ class PhiComputeStage:
                 num_patterns_per_partition=sim.phi_config.num_patterns,
                 output_width=sim.arch.tile_n,
             )
-            l2_result = sim.l2.process_packs(tile_packs, output_width=sim.arch.tile_n)
+            l2_result = sim.l2.process_pack_counts(
+                tile_packs, output_width=sim.arch.tile_n
+            )
             tile_compute = max(l1_result.cycles, l2_result.cycles) * num_n_tiles
             compute_cycles += tile_compute
             l1_cycles_total += l1_result.cycles * num_n_tiles
@@ -413,8 +422,22 @@ class PhiSimulator(AcceleratorModel):
         layer: LayerWorkload,
         *,
         layer_calibration: LayerCalibration | None = None,
+        decomposition=None,
     ) -> LayerResult:
-        """Simulate one spike GEMM on the Phi accelerator."""
+        """Simulate one spike GEMM on the Phi accelerator.
+
+        Parameters
+        ----------
+        layer:
+            The activation / weight matrices of the GEMM.
+        layer_calibration:
+            Calibrated patterns for the layer; self-calibrates when omitted.
+        decomposition:
+            Optional precomputed
+            :class:`~repro.core.sparsity.MatrixDecomposition` of the
+            layer under ``layer_calibration`` and ``arch.tile_k`` — the
+            tiling stage then skips the (deterministic) re-decomposition.
+        """
         if layer_calibration is None:
             layer_calibration = self._calibration_for(layer, None)
         if layer_calibration.total_width != layer.k:
@@ -423,6 +446,17 @@ class PhiSimulator(AcceleratorModel):
                 f"layer K={layer.k}"
             )
         ctx = LayerContext(layer=layer, calibration=layer_calibration)
+        if decomposition is not None:
+            if (
+                decomposition.num_rows != layer.m
+                or decomposition.total_width != layer.k
+            ):
+                raise ValueError(
+                    f"decomposition shape ({decomposition.num_rows}, "
+                    f"{decomposition.total_width}) does not match layer "
+                    f"({layer.m}, {layer.k})"
+                )
+            ctx.scratch["decomposition"] = decomposition
         return self.pipeline.run_layer(ctx)
 
     def _layer_energy(self, sim: LayerResult) -> EnergyBreakdown:
@@ -459,6 +493,7 @@ class PhiSimulator(AcceleratorModel):
         workload: ModelWorkload,
         *,
         calibration: ModelCalibration | None = None,
+        decompositions=None,
     ) -> RunResult:
         """Simulate every layer of a model workload.
 
@@ -471,6 +506,10 @@ class PhiSimulator(AcceleratorModel):
             layer is calibrated on its own activations (upper bound on
             pattern quality; Section 3.2 shows train-calibrated patterns
             generalise, so the difference is small).
+        decompositions:
+            Optional mapping of layer name to precomputed
+            :class:`~repro.core.sparsity.MatrixDecomposition`; layers not
+            in the mapping decompose as usual.
         """
         result = RunResult(
             accelerator=self.name,
@@ -479,10 +518,15 @@ class PhiSimulator(AcceleratorModel):
             area_mm2=self.area_mm2,
             config=self.arch,
         )
+        decompositions = decompositions or {}
         for layer in workload:
             layer_calibration = self._calibration_for(layer, calibration)
             result.layers.append(
-                self.simulate_layer(layer, layer_calibration=layer_calibration)
+                self.simulate_layer(
+                    layer,
+                    layer_calibration=layer_calibration,
+                    decomposition=decompositions.get(layer.name),
+                )
             )
         return result
 
@@ -491,6 +535,9 @@ class PhiSimulator(AcceleratorModel):
         workload: ModelWorkload,
         *,
         calibration: ModelCalibration | None = None,
+        decompositions=None,
     ) -> RunResult:
         """Alias of :meth:`run` satisfying the :class:`AcceleratorModel` API."""
-        return self.run(workload, calibration=calibration)
+        return self.run(
+            workload, calibration=calibration, decompositions=decompositions
+        )

@@ -31,6 +31,7 @@ from ..experiments.registry import (
 )
 from ..runner.cache import ResultCache, default_cache_dir
 from ..runner.engine import SweepEngine
+from ..runner.store import ArtifactStore, default_store_dir
 from .artifact import (
     ReportArtifact,
     SectionRecord,
@@ -86,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable both the sweep cache and the section cache",
     )
     parser.add_argument(
+        "--store-dir",
+        default=default_store_dir(),
+        help="shared artifact store directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the shared workload/calibration store",
+    )
+    parser.add_argument(
         "--no-figures",
         action="store_true",
         help="skip matplotlib figures even when matplotlib is available",
@@ -116,7 +127,10 @@ def main(argv: list[str] | None = None) -> int:
 
     specs = _select_specs(args.only)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    engine = SweepEngine(cache=cache, jobs=args.jobs, progress=not args.quiet)
+    store = None if args.no_store else ArtifactStore(args.store_dir)
+    engine = SweepEngine(
+        cache=cache, jobs=args.jobs, progress=not args.quiet, store=store
+    )
     artifact = ReportArtifact(
         root=pathlib.Path(args.output),
         scale_name=args.scale,
@@ -135,28 +149,29 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     start = time.perf_counter()
-    for spec in specs:
-        key = section_cache_key(spec, args.scale)
-        section_start = time.perf_counter()
-        payload = load_section(cache, key)
-        if payload is not None:
-            origin = "cache"
-        else:
-            result = spec.run(args.scale, engine=engine)
-            payload = build_payload(spec, result)
-            store_section(cache, key, payload)
-            origin = "run"
-        elapsed = time.perf_counter() - section_start
-        if not args.quiet:
-            print(f"[{spec.name}] {origin} in {elapsed:.2f}s", file=sys.stderr)
-        if not artifact_figures:
-            payload = dict(payload)
-            payload["figure"] = None
-        artifact.add_section(
-            SectionRecord(
-                spec=spec, payload=payload, origin=origin, elapsed_seconds=elapsed
+    with engine:
+        for spec in specs:
+            key = section_cache_key(spec, args.scale)
+            section_start = time.perf_counter()
+            payload = load_section(cache, key)
+            if payload is not None:
+                origin = "cache"
+            else:
+                result = spec.run(args.scale, engine=engine)
+                payload = build_payload(spec, result)
+                store_section(cache, key, payload)
+                origin = "run"
+            elapsed = time.perf_counter() - section_start
+            if not args.quiet:
+                print(f"[{spec.name}] {origin} in {elapsed:.2f}s", file=sys.stderr)
+            if not artifact_figures:
+                payload = dict(payload)
+                payload["figure"] = None
+            artifact.add_section(
+                SectionRecord(
+                    spec=spec, payload=payload, origin=origin, elapsed_seconds=elapsed
+                )
             )
-        )
 
     report_path = artifact.write()
     total = time.perf_counter() - start

@@ -1,11 +1,14 @@
-"""Parallel sweep engine with an on-disk content-addressed result cache.
+"""Parallel sweep engine with on-disk content-addressed caches.
 
 The runner decouples *what* an experiment sweeps (a grid of
 ``(PhiConfig, ArchConfig, workload)`` points) from *how* the grid is
 executed (serial, multi-process, cached).  Experiments build
 :class:`SweepPoint` lists and hand them to a :class:`SweepEngine`; the
 engine returns JSON-friendly records and memoises each one under the
-SHA-256 hash of the point's full configuration.
+SHA-256 hash of the point's full configuration.  An optional
+:class:`ArtifactStore` additionally shares the expensive intermediate
+state — generated workloads, k-means calibrations, activation
+decompositions — across workers and runs.
 
 See ``python -m repro.runner --help`` for the CLI.
 """
@@ -28,11 +31,14 @@ from .engine import (
     summarize_simulation,
     validate_record,
 )
+from .store import STORE_SCHEMA_VERSION, ArtifactStore, default_store_dir
 
 __all__ = [
+    "ArtifactStore",
     "CACHE_SCHEMA_VERSION",
     "DECOMPOSITION",
     "ResultCache",
+    "STORE_SCHEMA_VERSION",
     "SweepEngine",
     "SweepPoint",
     "SweepStats",
@@ -42,6 +48,7 @@ __all__ = [
     "calibration_for",
     "default_cache_dir",
     "default_engine",
+    "default_store_dir",
     "model_for",
     "simulate_many",
     "simulate_point",

@@ -104,6 +104,13 @@ class ResultCache:
                 pass
             raise
 
+    def record_paths(self) -> list[pathlib.Path]:
+        """All cached record files, sorted — the single traversal that
+        :meth:`records` and :meth:`__len__` share."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
     def records(self):
         """Yield ``(path, record)`` for every readable cached JSON record.
 
@@ -111,9 +118,7 @@ class ResultCache:
         miss semantics.  Used by ``python -m repro.runner validate-cache``
         to audit a cache directory against the current record schema.
         """
-        if not self.root.exists():
-            return
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in self.record_paths():
             try:
                 record = json.loads(path.read_text())
             except (OSError, ValueError):
@@ -121,16 +126,12 @@ class ResultCache:
             yield path, record
 
     def __len__(self) -> int:
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.record_paths())
 
     def clear(self) -> int:
         """Delete every cached record; returns the number removed."""
         removed = 0
-        if not self.root.exists():
-            return removed
-        for path in self.root.glob("*/*.json"):
+        for path in self.record_paths():
             try:
                 path.unlink()
                 removed += 1

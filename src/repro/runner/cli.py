@@ -15,6 +15,7 @@ Other figures, any registered experiment, and a generic grid sweep::
     python -m repro.runner sweep --model vgg16 --dataset cifar100 \
         --patterns 8,16,32,64 --jobs 4
     python -m repro.runner cache --clear
+    python -m repro.runner store --clear
     python -m repro.runner validate-cache
 
 ``exp`` accepts every name in the experiment registry
@@ -30,6 +31,7 @@ import time
 
 from .cache import ResultCache, default_cache_dir
 from .engine import SweepEngine, SweepPoint, WorkloadSpec
+from .store import ArtifactStore, default_store_dir
 
 
 def _scale(name: str):
@@ -40,7 +42,10 @@ def _scale(name: str):
 
 def _engine_from_args(args: argparse.Namespace) -> SweepEngine:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return SweepEngine(cache=cache, jobs=args.jobs, progress=not args.quiet)
+    store = None if args.no_store else ArtifactStore(args.store_dir)
+    return SweepEngine(
+        cache=cache, jobs=args.jobs, progress=not args.quiet, store=store
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -68,6 +73,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
     parser.add_argument(
+        "--store-dir",
+        default=default_store_dir(),
+        help="shared artifact store directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the shared workload/calibration store",
+    )
+    parser.add_argument(
         "--quiet", "-q", action="store_true", help="suppress progress output"
     )
 
@@ -83,10 +98,10 @@ def _report(engine: SweepEngine, elapsed: float) -> None:
 def _cmd_fig7(args: argparse.Namespace) -> int:
     from ..experiments.fig7 import run_fig7
 
-    engine = _engine_from_args(args)
-    start = time.perf_counter()
-    result = run_fig7(_scale(args.scale), engine=engine)
-    elapsed = time.perf_counter() - start
+    with _engine_from_args(args) as engine:
+        start = time.perf_counter()
+        result = run_fig7(_scale(args.scale), engine=engine)
+        elapsed = time.perf_counter() - start
     print(result.formatted())
     _report(engine, elapsed)
     return 0
@@ -95,11 +110,11 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 def _cmd_fig8(args: argparse.Namespace) -> int:
     from ..experiments.fig8 import DEFAULT_WORKLOADS, FULL_WORKLOADS, run_fig8
 
-    engine = _engine_from_args(args)
     workloads = FULL_WORKLOADS if args.full else DEFAULT_WORKLOADS
-    start = time.perf_counter()
-    result = run_fig8(_scale(args.scale), workloads=workloads, engine=engine)
-    elapsed = time.perf_counter() - start
+    with _engine_from_args(args) as engine:
+        start = time.perf_counter()
+        result = run_fig8(_scale(args.scale), workloads=workloads, engine=engine)
+        elapsed = time.perf_counter() - start
     print(result.formatted())
     _report(engine, elapsed)
     return 0
@@ -108,10 +123,10 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 def _cmd_fig12(args: argparse.Namespace) -> int:
     from ..experiments.fig12 import run_fig12
 
-    engine = _engine_from_args(args)
-    start = time.perf_counter()
-    result = run_fig12(_scale(args.scale), engine=engine)
-    elapsed = time.perf_counter() - start
+    with _engine_from_args(args) as engine:
+        start = time.perf_counter()
+        result = run_fig12(_scale(args.scale), engine=engine)
+        elapsed = time.perf_counter() - start
     print(result.formatted())
     _report(engine, elapsed)
     return 0
@@ -122,10 +137,10 @@ def _cmd_exp(args: argparse.Namespace) -> int:
     from ..report.emitters import build_payload, section_markdown
 
     spec = get_experiment(args.name)
-    engine = _engine_from_args(args)
-    start = time.perf_counter()
-    result = spec.run(args.scale, engine=engine)
-    elapsed = time.perf_counter() - start
+    with _engine_from_args(args) as engine:
+        start = time.perf_counter()
+        result = spec.run(args.scale, engine=engine)
+        elapsed = time.perf_counter() - start
     print(section_markdown(spec, build_payload(spec, result)))
     _report(engine, elapsed)
     return 0
@@ -135,7 +150,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from ..experiments.common import format_table
 
     scale = _scale(args.scale)
-    engine = _engine_from_args(args)
     pattern_counts = [int(q) for q in args.patterns.split(",") if q]
     spec = WorkloadSpec(
         model=args.model,
@@ -152,9 +166,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         for q in pattern_counts
     ]
-    start = time.perf_counter()
-    records = engine.run(points)
-    elapsed = time.perf_counter() - start
+    with _engine_from_args(args) as engine:
+        start = time.perf_counter()
+        records = engine.run(points)
+        elapsed = time.perf_counter() - start
     rows = [
         {
             "num_patterns": q,
@@ -180,13 +195,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} stored artifacts from {store.root}")
+    else:
+        print(f"{len(store)} stored artifacts in {store.root}")
+    return 0
+
+
 def _cmd_validate_cache(args: argparse.Namespace) -> int:
     from .engine import CACHE_SCHEMA_VERSION, validate_record
 
     cache = ResultCache(args.cache_dir)
-    valid = legacy = skipped = 0
+    valid = legacy = skipped = total = 0
     problems: list[str] = []
+    start = time.perf_counter()
     for path, record in cache.records():
+        total += 1
         if not isinstance(record, dict) or "accelerator" not in record:
             # Report-section payloads share the cache directory; they are
             # validated by the report pipeline, not the sweep schema.
@@ -202,11 +229,14 @@ def _cmd_validate_cache(args: argparse.Namespace) -> int:
             problems.append(f"{path}: " + "; ".join(issues))
         else:
             valid += 1
+    elapsed = time.perf_counter() - start
+    rate = total / elapsed if elapsed > 0 else float("inf")
     print(
         f"{valid} valid v{CACHE_SCHEMA_VERSION} records, {legacy} legacy "
         f"records ignored, {skipped} non-sweep entries skipped, "
         f"{len(problems)} invalid in {cache.root}"
     )
+    print(f"validated {total} records in {elapsed:.2f}s ({rate:.0f} records/s)")
     for problem in problems:
         print(f"INVALID {problem}", file=sys.stderr)
     return 1 if problems else 0
@@ -255,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=default_cache_dir())
     p.add_argument("--clear", action="store_true", help="delete all cached records")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("store", help="inspect or clear the shared artifact store")
+    p.add_argument("--store-dir", default=default_store_dir())
+    p.add_argument("--clear", action="store_true", help="delete all stored artifacts")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser(
         "validate-cache",

@@ -9,19 +9,27 @@ over ``multiprocessing`` workers and memoises every result in an on-disk
 content-addressed cache, so design-space sweeps pay for each distinct
 configuration exactly once — across processes, runs and experiments.
 
-Workers recompute workloads and calibrations from their specs; both are
-deterministic for a fixed seed, so a record computed anywhere is valid
-everywhere.  Within one process, workloads and calibrations are memoised
-too (``cached_workload`` / :func:`calibration_for`), which is what lets a
-multi-figure run share one calibration across every point that uses the
-same ``(workload, PhiConfig)`` pair.
+Workloads, calibrations and activation decompositions are deterministic
+functions of ``(workload spec, PhiConfig)``, so a record computed
+anywhere is valid everywhere.  When the engine carries an
+:class:`~repro.runner.store.ArtifactStore`, those shared artifacts are
+additionally persisted on disk and each is computed once per
+configuration ever: the engine's dispatch granularity is one batch per
+``(workload spec, PhiConfig)`` *unit* (see :meth:`SweepEngine.run`), a
+unit's first point materialises its artifacts into the store, and the
+unit's remaining points — plus every later run — load them instead of
+re-running workload generation, k-means or pattern matching.  Without a
+store, per-process memos (``cached_workload`` / :func:`calibration_for`)
+still share the state within each process.
 """
 
 from __future__ import annotations
 
+import contextlib
 import sys
+import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Sequence
 
@@ -35,6 +43,7 @@ from ..core.metrics import (
     sparsity_breakdown,
 )
 from ..core.paft import ActivationAligner
+from ..core.sparsity import MatrixDecomposition
 from ..hw.config import ArchConfig
 from ..hw.energy import PhiEnergyModel
 from ..hw.pipeline import AcceleratorModel, LayerResult, RunResult
@@ -42,6 +51,13 @@ from ..hw.simulator import PhiSimulator
 from ..workloads.generator import cached_workload, generate_random_workload
 from ..workloads.workload import LayerWorkload, ModelWorkload
 from .cache import ResultCache, cache_key
+from .store import (
+    KIND_CALIBRATION,
+    KIND_DECOMPOSITION,
+    KIND_WORKLOAD,
+    ArtifactStore,
+    DecompositionArtifact,
+)
 
 #: Bump on ANY change that affects cached records — the record layout OR
 #: result-affecting simulator/calibration behaviour.  The package version
@@ -216,19 +232,39 @@ class SweepPoint:
 # --------------------------------------------------------------------- #
 # Workload / calibration resolution (memoised per process)
 # --------------------------------------------------------------------- #
-def calibration_for(workload: ModelWorkload, config: PhiConfig) -> ModelCalibration:
-    """Calibrate ``workload`` under ``config``, memoised on the workload.
+#: Per-process calibration memo: workload identity -> {PhiConfig ->
+#: ModelCalibration}.  Keyed by ``id()`` (ModelWorkload is a value-equal
+#: dataclass, hence unhashable) with a ``weakref.finalize`` hook that
+#: drops the entry when the workload is collected — the workload object
+#: itself is never mutated.
+_CALIBRATION_MEMO: dict[int, dict] = {}
 
-    Calibration is deterministic, so the result is attached to the
-    workload object itself (keyed by the frozen ``PhiConfig``); every
+
+def _calibration_memo_for(workload: ModelWorkload) -> dict:
+    key = id(workload)
+    memo = _CALIBRATION_MEMO.get(key)
+    if memo is None:
+        memo = {}
+        _CALIBRATION_MEMO[key] = memo
+        weakref.finalize(workload, _CALIBRATION_MEMO.pop, key, None)
+    return memo
+
+
+def calibration_for(workload: ModelWorkload, config: PhiConfig) -> ModelCalibration:
+    """Calibrate ``workload`` under ``config``, memoised per instance.
+
+    Calibration is deterministic, so results are shared through a
+    process-level memo (workload instance x frozen ``PhiConfig``); every
     sweep point and experiment that shares the workload instance then
-    shares one calibration instead of recomputing it per point.
+    shares one calibration instead of recomputing it per point.  The
+    workload object itself is never touched, and the memo entry dies with
+    the workload.
 
     Parameters
     ----------
     workload:
         The workload whose binary activation matrices are calibrated.
-        Treated as read-only apart from the attached memo.
+        Treated as read-only.
     config:
         Algorithm configuration (partition size, pattern count,
         calibration sample count).
@@ -238,14 +274,123 @@ def calibration_for(workload: ModelWorkload, config: PhiConfig) -> ModelCalibrat
     ModelCalibration
         Per-layer calibrated patterns, shared across callers.
     """
-    memo = getattr(workload, "_phi_calibration_cache", None)
-    if memo is None:
-        memo = {}
-        workload._phi_calibration_cache = memo
+    memo = _calibration_memo_for(workload)
     if config not in memo:
         calibrator = PhiCalibrator(config)
         memo[config] = calibrator.calibrate_model(workload.activation_matrices())
     return memo[config]
+
+
+# --------------------------------------------------------------------- #
+# Shared-artifact resolution (store-aware)
+# --------------------------------------------------------------------- #
+#: The artifact store consulted by the spec-level resolution helpers.
+#: ``None`` keeps the pure in-process behaviour.  Serial engine runs
+#: activate their store around the batch loop; pool workers set it once
+#: in their initializer.
+_ACTIVE_STORE: ArtifactStore | None = None
+
+
+@contextlib.contextmanager
+def _active_store(store: ArtifactStore | None):
+    """Temporarily install ``store`` as the process's artifact store."""
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = store
+    try:
+        yield
+    finally:
+        _ACTIVE_STORE = previous
+
+
+def _pool_initializer(store_root: str | None) -> None:
+    """Worker start-up: install the on-disk artifact store, if any."""
+    global _ACTIVE_STORE
+    _ACTIVE_STORE = ArtifactStore(store_root) if store_root is not None else None
+
+
+def _base_spec(spec: WorkloadSpec) -> WorkloadSpec:
+    """The spec of the underlying base workload (PAFT fields stripped)."""
+    if spec.paft_strength is None and spec.paft_seed == 0:
+        return spec
+    return replace(spec, paft_strength=None, paft_seed=0)
+
+
+def _artifact_payload(spec: WorkloadSpec, config: PhiConfig | None) -> dict:
+    """The store-key payload of an artifact derived from (spec, config)."""
+    return {
+        "workload": spec.to_dict(),
+        "phi": config.to_dict() if config is not None else None,
+    }
+
+
+def _stored_base_workload(spec: WorkloadSpec) -> ModelWorkload:
+    """Base workload for ``spec``: store hit or generate-and-store."""
+    spec = _base_spec(spec)
+    store = _ACTIVE_STORE
+    if store is None:
+        return _base_workload(spec)
+    key = store.key(KIND_WORKLOAD, _artifact_payload(spec, None))
+    workload = store.get(KIND_WORKLOAD, key)
+    if workload is None:
+        workload = _base_workload(spec)
+        store.put(KIND_WORKLOAD, key, workload)
+    return workload
+
+
+def _stored_calibration(
+    spec: WorkloadSpec, config: PhiConfig, workload: ModelWorkload
+) -> ModelCalibration:
+    """Calibration of ``workload`` (described by ``spec``) under ``config``.
+
+    ``spec`` must describe exactly the workload passed in — the full spec
+    (including PAFT fields) for an aligned workload, the base spec for a
+    base workload — because it is what the store key is derived from.
+    """
+    store = _ACTIVE_STORE
+    if store is None:
+        return calibration_for(workload, config)
+    key = store.key(KIND_CALIBRATION, _artifact_payload(spec, config))
+    calibration = store.get(KIND_CALIBRATION, key)
+    if calibration is None:
+        calibration = calibration_for(workload, config)
+        store.put(KIND_CALIBRATION, key, calibration)
+    return calibration
+
+
+def _stored_decompositions(
+    spec: WorkloadSpec,
+    config: PhiConfig,
+    workload: ModelWorkload,
+    calibration: ModelCalibration,
+) -> dict[str, MatrixDecomposition]:
+    """Per-layer decompositions of ``workload`` under ``calibration``.
+
+    Only the pattern assignments hit the disk; a loaded artifact is
+    rebuilt against the workload and calibration (see
+    :class:`~repro.runner.store.DecompositionArtifact`), which is
+    bit-exact and much cheaper than re-matching.
+    """
+    store = _ACTIVE_STORE
+    if store is None:
+        return {
+            layer.name: calibration[layer.name].decompose(layer.activations)
+            for layer in workload
+            if layer.name in calibration
+        }
+    key = store.key(KIND_DECOMPOSITION, _artifact_payload(spec, config))
+    found = store.get(KIND_DECOMPOSITION, key)
+    if found is None:
+        decompositions = {
+            layer.name: calibration[layer.name].decompose(layer.activations)
+            for layer in workload
+            if layer.name in calibration
+        }
+        store.put(KIND_DECOMPOSITION, key, decompositions)
+        return decompositions
+    if isinstance(found, DecompositionArtifact):
+        return found.rebuild(workload, calibration)
+    return found
 
 
 def _base_workload(spec: WorkloadSpec) -> ModelWorkload:
@@ -278,9 +423,16 @@ def aligned_workload(
     *,
     strength: float,
     seed: int = 0,
+    calibration: ModelCalibration | None = None,
 ) -> ModelWorkload:
-    """The post-PAFT variant of ``workload`` (Section 3.3 effect model)."""
-    calibration = calibration_for(workload, config)
+    """The post-PAFT variant of ``workload`` (Section 3.3 effect model).
+
+    ``calibration`` optionally supplies the base workload's calibration
+    (the alignment target); it is computed via :func:`calibration_for`
+    when omitted.
+    """
+    if calibration is None:
+        calibration = calibration_for(workload, config)
     aligner = ActivationAligner(alignment_strength=strength, seed=seed)
     aligned = ModelWorkload(
         model_name=workload.model_name, dataset_name=workload.dataset_name
@@ -300,14 +452,31 @@ def aligned_workload(
 
 def _resolve_workload(point: SweepPoint) -> ModelWorkload:
     spec = point.workload
-    workload = _base_workload(spec)
-    if spec.paft_strength is not None:
-        if point.phi is None:
-            raise ValueError("PAFT workloads need a PhiConfig for calibration")
-        workload = aligned_workload(
-            workload, point.phi, strength=spec.paft_strength, seed=spec.paft_seed
-        )
-    return workload
+    if spec.paft_strength is None:
+        return _stored_base_workload(spec)
+    if point.phi is None:
+        raise ValueError("PAFT workloads need a PhiConfig for calibration")
+    store = _ACTIVE_STORE
+    if store is not None:
+        # Aligned workloads are themselves store artifacts, keyed by the
+        # full spec (PAFT fields included) plus the aligning PhiConfig.
+        key = store.key(KIND_WORKLOAD, _artifact_payload(spec, point.phi))
+        aligned = store.get(KIND_WORKLOAD, key)
+        if aligned is not None:
+            return aligned
+    base_spec = _base_spec(spec)
+    base = _stored_base_workload(base_spec)
+    calibration = _stored_calibration(base_spec, point.phi, base)
+    aligned = aligned_workload(
+        base,
+        point.phi,
+        strength=spec.paft_strength,
+        seed=spec.paft_seed,
+        calibration=calibration,
+    )
+    if store is not None:
+        store.put(KIND_WORKLOAD, key, aligned)
+    return aligned
 
 
 # --------------------------------------------------------------------- #
@@ -415,16 +584,22 @@ def _model_record(point: SweepPoint) -> dict:
     workload = _resolve_workload(point)
     model = model_for(point)
     if isinstance(model, PhiSimulator):
-        if point.workload.paft_strength is None:
-            # Matches the simulator's per-layer self-calibration exactly
-            # while letting every point on the same workload share one
-            # calibration.
-            calibration = calibration_for(workload, point.phi)
-        else:
-            # The paper fine-tunes, then re-calibrates on the tuned
-            # network: the aligned workload self-calibrates (as in Fig. 8).
-            calibration = None
-        result = model.simulate(workload, calibration=calibration)
+        # For a plain spec this matches the simulator's per-layer
+        # self-calibration exactly while letting every point on the same
+        # workload share one calibration.  For a PAFT spec the paper
+        # fine-tunes, then re-calibrates on the tuned network: the
+        # calibration is computed on the *aligned* workload (keyed by the
+        # full spec), which is layer-for-layer identical to letting the
+        # simulator self-calibrate — but shareable.
+        calibration = _stored_calibration(point.workload, point.phi, workload)
+        decompositions = None
+        if _ACTIVE_STORE is not None:
+            decompositions = _stored_decompositions(
+                point.workload, point.phi, workload, calibration
+            )
+        result = model.simulate(
+            workload, calibration=calibration, decompositions=decompositions
+        )
     else:
         result = model.simulate(workload)
     return summarize_run(result)
@@ -433,11 +608,14 @@ def _model_record(point: SweepPoint) -> dict:
 def _decomposition_record(point: SweepPoint) -> dict:
     """Density / op-count analysis without cycle-level simulation."""
     workload = _resolve_workload(point)
-    calibration = calibration_for(workload, point.phi)
+    calibration = _stored_calibration(point.workload, point.phi, workload)
+    decompositions = _stored_decompositions(
+        point.workload, point.phi, workload, calibration
+    )
     breakdown_pairs = []
     counts = []
     for layer in workload:
-        decomposition = calibration[layer.name].decompose(layer.activations)
+        decomposition = decompositions[layer.name]
         breakdown_pairs.append(
             (sparsity_breakdown(decomposition), layer.activations.size)
         )
@@ -470,13 +648,12 @@ def simulate_point(point: SweepPoint) -> dict:
 def simulate_many(points: Sequence[SweepPoint]) -> list[dict]:
     """Execute a batch of sweep points through one entry point.
 
-    Points run in input order inside one process, so the per-process
-    workload and calibration memos (:func:`cached_workload`,
-    :func:`calibration_for`) are warmed by the first point of each
-    workload and reused by every later one.  The engine dispatches
-    workload-grouped batches through this function instead of issuing
-    per-point calls, which is what keeps a parallel sweep from
-    re-deriving shared state in every worker.
+    Points run in input order inside one process; the per-process memos
+    (:func:`cached_workload`, :func:`calibration_for`) and the active
+    artifact store share the derived state, so the first point of each
+    ``(workload, PhiConfig)`` unit pays for it and every later point —
+    in this batch, this process or any store-sharing worker — reuses it.
+    This is the unit of work the engine submits to pool workers.
 
     Parameters
     ----------
@@ -576,49 +753,26 @@ def validate_record(record: dict) -> list[str]:
 # --------------------------------------------------------------------- #
 # The engine
 # --------------------------------------------------------------------- #
-def _workload_group(spec: WorkloadSpec) -> tuple:
-    """Grouping key: points sharing it share one resolved base workload.
+def _unit_key(point: SweepPoint) -> tuple:
+    """Dispatch-unit key: points sharing it share every derived artifact.
 
-    PAFT variants ride with their base workload (the alignment needs the
-    base calibration), so ``paft_strength``/``paft_seed`` are excluded.
+    A *unit* is one ``(workload spec, PhiConfig)`` pair — its points
+    share the resolved workload, the calibration and the decomposition.
+    The engine dispatches one representative point per unit first, so a
+    unit's shared artifacts are materialised exactly once; the remaining
+    points then run in parallel, loading instead of recomputing.
     """
-    return (
-        spec.model,
-        spec.dataset,
-        spec.batch_size,
-        spec.num_steps,
-        spec.split,
-        spec.seed,
-        spec.density,
-        spec.dims,
-    )
+    return (point.workload, point.phi)
 
 
-def _pending_batches(
-    points: Sequence[SweepPoint], pending: dict[str, list[int]], jobs: int
+def _pending_units(
+    points: Sequence[SweepPoint], pending: dict[str, list[int]]
 ) -> list[list[str]]:
-    """Partition pending cache keys into workload-grouped dispatch batches.
-
-    Keys are grouped by base workload so each :func:`simulate_many` batch
-    resolves and calibrates its workload once (instead of every worker
-    re-deriving the shared state point by point).  When there are fewer
-    groups than workers, groups are split so parallelism is not
-    sacrificed to batching.
-    """
-    groups: dict[tuple, list[str]] = {}
+    """Group pending cache keys into dispatch units, in input order."""
+    units: dict[tuple, list[str]] = {}
     for key, indices in pending.items():
-        group = _workload_group(points[indices[0]].workload)
-        groups.setdefault(group, []).append(key)
-    batches = list(groups.values())
-    if jobs > 1 and len(batches) < jobs:
-        splits_per_group = -(-jobs // len(batches))  # ceil division
-        split: list[list[str]] = []
-        for keys in batches:
-            parts = min(len(keys), splits_per_group)
-            size = -(-len(keys) // parts)
-            split.extend(keys[i : i + size] for i in range(0, len(keys), size))
-        batches = split
-    return batches
+        units.setdefault(_unit_key(points[indices[0]]), []).append(key)
+    return list(units.values())
 
 
 @dataclass
@@ -636,7 +790,7 @@ class SweepStats:
 
 
 class SweepEngine:
-    """Fan sweep points out over workers with an on-disk result cache.
+    """Fan sweep points out over workers with on-disk result + artifact caches.
 
     Parameters
     ----------
@@ -646,9 +800,16 @@ class SweepEngine:
         unless they opt in).
     jobs:
         Worker processes.  ``1`` executes inline in this process (no pool,
-        monkeypatch-friendly); higher values use a process pool.
+        monkeypatch-friendly); higher values use a persistent process pool
+        that stays warm across :meth:`run` calls (close it with
+        :meth:`close` or by using the engine as a context manager).
     progress:
         Emit one ``[i/n]`` line per completed point to ``stderr``.
+    store:
+        Shared artifact store for workloads, calibrations and
+        decompositions, or ``None`` (the default) to keep them
+        process-local.  With a store, each artifact is computed once per
+        configuration ever — workers and later runs load it from disk.
     """
 
     def __init__(
@@ -657,13 +818,47 @@ class SweepEngine:
         cache: ResultCache | None = None,
         jobs: int = 1,
         progress: bool = False,
+        store: ArtifactStore | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.cache = cache
         self.jobs = jobs
         self.progress = progress
+        self.store = store
         self.stats = SweepStats()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            store_root = str(self.store.root) if self.store is not None else None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_pool_initializer,
+                initargs=(store_root,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     def _emit(self, done: int, total: int, point: SweepPoint, origin: str) -> None:
@@ -678,7 +873,14 @@ class SweepEngine:
         """Execute every point (cache first), preserving input order.
 
         Points with identical cache keys within one batch are executed
-        once and the record is shared across their result slots.
+        once and the record is shared across their result slots.  Pending
+        points are grouped into ``(workload spec, PhiConfig)`` units; in
+        parallel mode each unit's representative point runs first (it
+        materialises the unit's workload / calibration / decomposition
+        into the artifact store), then the unit's remaining points fan
+        out point-per-task — so no split ever recomputes a calibration.
+        Records stream back as futures complete and are written to the
+        result cache incrementally.
 
         Parameters
         ----------
@@ -720,30 +922,79 @@ class SweepEngine:
             self._finish(points[pending[key][0]], record)
 
         if pending:
-            batches = _pending_batches(points, pending, self.jobs)
-            if self.jobs == 1 or len(batches) == 1:
-                for keys in batches:
-                    results = simulate_many([points[pending[k][0]] for k in keys])
-                    for key, record in zip(keys, results):
-                        settle(key, record)
-            else:
-                workers = min(self.jobs, len(batches))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(
-                            simulate_many, [points[pending[k][0]] for k in keys]
-                        ): keys
-                        for keys in batches
-                    }
-                    remaining = set(futures)
-                    while remaining:
-                        finished, remaining = wait(
-                            remaining, return_when=FIRST_COMPLETED
+            units = _pending_units(points, pending)
+            if self.jobs == 1 or len(pending) == 1:
+                with _active_store(self.store):
+                    for keys in units:
+                        results = simulate_many(
+                            [points[pending[k][0]] for k in keys]
                         )
-                        for future in finished:
-                            for key, record in zip(futures[future], future.result()):
-                                settle(key, record)
+                        for key, record in zip(keys, results):
+                            settle(key, record)
+            else:
+                self._run_parallel(points, pending, units, settle)
         return records  # type: ignore[return-value]
+
+    def _run_parallel(
+        self,
+        points: list[SweepPoint],
+        pending: dict[str, list[int]],
+        units: list[list[str]],
+        settle,
+    ) -> None:
+        """Wave-dispatch pending units over the warm worker pool."""
+        if self.store is not None:
+            self._seed_workloads(points, pending)
+        pool = self._ensure_pool()
+
+        def submit(key: str):
+            return pool.submit(simulate_many, [points[pending[key][0]]])
+
+        # Wave 1: one representative per unit.  Followers are held back
+        # until the representative has stored the unit's artifacts.
+        # Without a store there is nothing for followers to load, so the
+        # barrier would only serialize work — submit everything at once.
+        if self.store is None:
+            futures = {
+                submit(key): (key, []) for keys in units for key in keys
+            }
+        else:
+            futures = {submit(keys[0]): (keys[0], keys[1:]) for keys in units}
+        remaining = set(futures)
+        try:
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    key, followers = futures.pop(future)
+                    settle(key, future.result()[0])
+                    for follower in followers:
+                        follow_up = submit(follower)
+                        futures[follow_up] = (follower, [])
+                        remaining.add(follow_up)
+        except BaseException:
+            # A failed or interrupted sweep must not leave orphaned tasks
+            # running in the pool.
+            self.close()
+            raise
+
+    def _seed_workloads(
+        self, points: list[SweepPoint], pending: dict[str, list[int]]
+    ) -> None:
+        """Materialise every pending base workload into the store.
+
+        Workload generation (an SNN forward pass) is common to every unit
+        of the same spec; seeding it from the parent before dispatch
+        means no two workers ever race to regenerate it.
+        """
+        seen: set[WorkloadSpec] = set()
+        for indices in pending.values():
+            spec = _base_spec(points[indices[0]].workload)
+            if spec in seen:
+                continue
+            seen.add(spec)
+            key = self.store.key(KIND_WORKLOAD, _artifact_payload(spec, None))
+            if not self.store.contains(key):
+                self.store.put(KIND_WORKLOAD, key, _base_workload(spec))
 
     def _finish(self, point: SweepPoint, record: dict) -> None:
         self.stats.executed += 1

@@ -1,0 +1,339 @@
+"""Content-addressed on-disk store for shared sweep artifacts.
+
+The expensive state a sweep point needs before any cycle-level simulation
+— the generated workload (an SNN forward pass), the k-means Phi
+calibration and the two-level activation decomposition — is a pure
+function of ``(workload spec, PhiConfig)``.  The :class:`ArtifactStore`
+persists each of these under a content hash of exactly those inputs (plus
+the package version and a store schema version), so they are computed
+once per configuration *ever*: parallel workers, later runs and other
+experiments all load the stored artifact instead of re-deriving it.
+
+Storage is one ``.npz`` file per artifact, fanned out over two-hex-digit
+subdirectories like the result cache, written atomically (temp file +
+``os.replace``) so concurrent writers can never corrupt an entry and a
+killed worker can never leave a half-written file behind.  Concurrent
+writers of the same key compute identical content — whichever replace
+lands last wins, harmlessly.  A corrupt or unreadable file is treated as
+a miss and recomputed, mirroring the result cache's semantics.
+
+Array payloads round-trip bit-exactly through ``.npz``, so a loaded
+artifact is indistinguishable from a freshly computed one; the golden
+regression suite and the report manifest check pin this.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..core.calibration import LayerCalibration, ModelCalibration
+from ..core.config import PhiConfig
+from ..core.patterns import PatternSet
+from ..core.sparsity import MatrixDecomposition, rebuild_decomposition
+from ..workloads.workload import LayerWorkload, ModelWorkload
+from .cache import cache_key
+
+#: Bump on ANY change to artifact layouts or to the deterministic
+#: computations they capture (workload generation, calibration,
+#: decomposition).  The package version is hashed into every key too, so
+#: releases invalidate the store even when this stays constant.
+STORE_SCHEMA_VERSION = 1
+
+#: Artifact kinds the store recognises (part of every key payload).
+KIND_WORKLOAD = "workload"
+KIND_CALIBRATION = "calibration"
+KIND_DECOMPOSITION = "decomposition"
+
+
+def default_store_dir() -> pathlib.Path:
+    """The default artifact store location.
+
+    ``REPRO_STORE_DIR`` overrides it; otherwise artifacts live next to
+    the result cache under the XDG cache home so repeated sweeps share
+    calibrations across checkouts.
+    """
+    env = os.environ.get("REPRO_STORE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "phi-repro" / "store"
+
+
+# --------------------------------------------------------------------- #
+# npz codecs (one pair per artifact kind)
+# --------------------------------------------------------------------- #
+def _encode_workload(workload: ModelWorkload) -> dict[str, np.ndarray]:
+    meta = {
+        "model_name": workload.model_name,
+        "dataset_name": workload.dataset_name,
+        "layers": workload.layer_names(),
+    }
+    arrays: dict[str, np.ndarray] = {"meta": np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )}
+    for i, layer in enumerate(workload):
+        arrays[f"a{i}"] = layer.activations
+        arrays[f"w{i}"] = layer.weights
+    return arrays
+
+
+def _decode_meta(arrays: Mapping[str, np.ndarray]) -> dict:
+    return json.loads(bytes(arrays["meta"]).decode("utf-8"))
+
+
+def _decode_workload(arrays: Mapping[str, np.ndarray]) -> ModelWorkload:
+    meta = _decode_meta(arrays)
+    workload = ModelWorkload(
+        model_name=meta["model_name"], dataset_name=meta["dataset_name"]
+    )
+    for i, name in enumerate(meta["layers"]):
+        workload.add(
+            LayerWorkload(
+                name=name, activations=arrays[f"a{i}"], weights=arrays[f"w{i}"]
+            )
+        )
+    return workload
+
+
+def _encode_calibration(calibration: ModelCalibration) -> dict[str, np.ndarray]:
+    layers = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, name in enumerate(calibration.layer_names()):
+        layer = calibration[name]
+        layers.append(
+            {
+                "name": name,
+                "partition_size": layer.partition_size,
+                "total_width": layer.total_width,
+                "num_partitions": layer.num_partitions,
+            }
+        )
+        for p, pattern_set in enumerate(layer.pattern_sets):
+            arrays[f"p{i}_{p}"] = pattern_set.matrix
+    config = calibration.config
+    meta = {"layers": layers, "config": config.to_dict() if config else None}
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    return arrays
+
+
+def _decode_calibration(arrays: Mapping[str, np.ndarray]) -> ModelCalibration:
+    meta = _decode_meta(arrays)
+    config = PhiConfig.from_dict(meta["config"]) if meta["config"] else None
+    calibration = ModelCalibration(config=config)
+    for i, layer in enumerate(meta["layers"]):
+        pattern_sets = tuple(
+            PatternSet(arrays[f"p{i}_{p}"]) for p in range(layer["num_partitions"])
+        )
+        calibration.add(
+            LayerCalibration(
+                layer_name=layer["name"],
+                pattern_sets=pattern_sets,
+                partition_size=layer["partition_size"],
+                total_width=layer["total_width"],
+            )
+        )
+    return calibration
+
+
+def _encode_decompositions(
+    decompositions: Mapping[str, MatrixDecomposition],
+) -> dict[str, np.ndarray]:
+    # Only the per-row pattern assignments are stored: the Level 2 matrix
+    # and the original tiles are deterministic functions of (activations,
+    # patterns, assignments) and are rebuilt bit-exactly on load by
+    # :func:`repro.core.sparsity.rebuild_decomposition`.
+    layers = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, (name, decomposition) in enumerate(decompositions.items()):
+        layers.append({"name": name})
+        arrays[f"i{i}"] = decomposition.pattern_index_matrix()
+    arrays["meta"] = np.frombuffer(
+        json.dumps({"layers": layers}).encode("utf-8"), dtype=np.uint8
+    )
+    return arrays
+
+
+class DecompositionArtifact:
+    """Stored pattern assignments awaiting a workload + calibration.
+
+    Rebuilding needs the activation matrices and pattern sets, which the
+    caller already holds (they come from sibling store entries), so the
+    artifact only carries the assignment matrices.
+    """
+
+    def __init__(self, assignments: dict[str, np.ndarray]) -> None:
+        self.assignments = assignments
+
+    def rebuild(
+        self, workload: ModelWorkload, calibration: ModelCalibration
+    ) -> dict[str, MatrixDecomposition]:
+        """Bit-exact decompositions for every stored layer."""
+        layers = {layer.name: layer for layer in workload}
+        return {
+            name: rebuild_decomposition(
+                layers[name].activations,
+                calibration[name].pattern_sets,
+                calibration[name].partition_size,
+                matrix,
+            )
+            for name, matrix in self.assignments.items()
+        }
+
+
+def _decode_decompositions(arrays: Mapping[str, np.ndarray]) -> DecompositionArtifact:
+    meta = _decode_meta(arrays)
+    return DecompositionArtifact(
+        {layer["name"]: arrays[f"i{i}"] for i, layer in enumerate(meta["layers"])}
+    )
+
+
+_CODECS: dict[str, tuple[Callable, Callable]] = {
+    KIND_WORKLOAD: (_encode_workload, _decode_workload),
+    KIND_CALIBRATION: (_encode_calibration, _decode_calibration),
+    KIND_DECOMPOSITION: (_encode_decompositions, _decode_decompositions),
+}
+
+
+# --------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------- #
+class ArtifactStore:
+    """A directory of content-addressed ``.npz`` artifacts with a memo.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created lazily on the first ``put``); defaults
+        to :func:`default_store_dir`.
+
+    Notes
+    -----
+    Loaded and stored artifacts are additionally memoised in-process (one
+    dict per store instance, keyed by content hash), so repeated ``get``
+    calls within a worker never re-read or re-decode the file.  The memo
+    is bounded (FIFO eviction beyond ``memo_entries``) and decomposition
+    entries are memoised in their slim assignment-only form, so a
+    long-lived worker cannot accumulate unbounded artifact memory.  The
+    memo holds the decoded objects themselves; callers must treat them as
+    read-only, which every consumer of workloads and calibrations already
+    does.
+    """
+
+    #: Maximum number of memoised artifacts per store instance.
+    memo_entries = 128
+
+    def __init__(self, root: pathlib.Path | str | None = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_store_dir()
+        self._memo: dict[str, Any] = {}
+
+    def _memoise(self, key: str, artifact: Any) -> None:
+        memo = self._memo
+        memo.pop(key, None)
+        while len(memo) >= self.memo_entries:
+            memo.pop(next(iter(memo)))
+        memo[key] = artifact
+
+    # ------------------------------------------------------------------ #
+    def key(self, kind: str, payload: Mapping[str, Any]) -> str:
+        """Content hash for an artifact of ``kind`` derived from ``payload``.
+
+        The payload must contain every input the artifact's computation
+        depends on (the engine passes the workload-spec and Phi-config
+        dicts); kind, store schema version and package version are mixed
+        in here.
+        """
+        from .. import __version__
+
+        if kind not in _CODECS:
+            raise ValueError(f"unknown artifact kind {kind!r}")
+        return cache_key(
+            {
+                "kind": kind,
+                "store_schema": STORE_SCHEMA_VERSION,
+                "code_version": __version__,
+                "payload": dict(payload),
+            }
+        )
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """File that stores (or would store) the artifact for ``key``."""
+        return self.root / key[:2] / f"{key}.npz"
+
+    # ------------------------------------------------------------------ #
+    def get(self, kind: str, key: str) -> Any | None:
+        """The stored artifact for ``key``, or ``None`` on miss.
+
+        A corrupt or unreadable file counts as a miss: callers recompute
+        and overwrite rather than fail.
+        """
+        if key in self._memo:
+            return self._memo[key]
+        path = self.path_for(key)
+        try:
+            with np.load(path) as data:
+                artifact = _CODECS[kind][1](data)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+        self._memoise(key, artifact)
+        return artifact
+
+    def put(self, kind: str, key: str, artifact: Any) -> None:
+        """Atomically persist ``artifact`` under ``key`` (and memoise it).
+
+        Decompositions are memoised in their stored (assignment-only)
+        form, not as the full matrices the producer handed in — the
+        rebuild on a later ``get`` is cheap, while the full form would
+        pin roughly twice the workload's memory per configuration.
+        """
+        arrays = _CODECS[kind][0](artifact)
+        if kind == KIND_DECOMPOSITION:
+            self._memoise(key, _CODECS[kind][1](arrays))
+        else:
+            self._memoise(key, artifact)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=key[:8], suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(buffer.getvalue())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, key: str) -> bool:
+        """Whether an artifact for ``key`` is memoised or on disk."""
+        return key in self._memo or self.path_for(key).exists()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.npz"))
+
+    def clear(self) -> int:
+        """Delete every stored artifact; returns the number removed."""
+        self._memo.clear()
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.npz"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

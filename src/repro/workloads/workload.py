@@ -13,6 +13,8 @@ from typing import Iterator
 
 import numpy as np
 
+from ..core.patterns import is_binary_matrix
+
 
 @dataclass(frozen=True)
 class LayerWorkload:
@@ -42,7 +44,7 @@ class LayerWorkload:
                 f"K mismatch: activations K={activations.shape[1]}, "
                 f"weights K={weights.shape[0]}"
             )
-        if not np.all(np.isin(np.unique(activations), (0, 1))):
+        if not is_binary_matrix(activations):
             raise ValueError("activations must be binary (0/1)")
         object.__setattr__(self, "activations", activations.astype(np.uint8))
         object.__setattr__(self, "weights", weights)

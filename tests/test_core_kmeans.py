@@ -9,6 +9,7 @@ from repro.core.kmeans import (
     cluster_partition,
     filter_calibration_rows,
     hamming_distance_matrix,
+    unique_binary_rows,
 )
 
 
@@ -126,3 +127,38 @@ class TestClusterPartition:
         rows = np.eye(4, dtype=np.uint8)
         pattern_set = cluster_partition(rows, 2)
         assert pattern_set.num_patterns >= 1
+
+
+class TestUniqueBinaryRows:
+    """unique_binary_rows must agree exactly with np.unique(axis=0)."""
+
+    @pytest.mark.parametrize("width", [1, 3, 8, 9, 16, 33])
+    @pytest.mark.parametrize("density", [0.1, 0.5, 0.9])
+    def test_matches_np_unique(self, width, density):
+        rng = np.random.default_rng(width * 10 + int(density * 10))
+        rows = (rng.random((200, width)) < density).astype(np.uint8)
+        expected = np.unique(rows, axis=0)
+        np.testing.assert_array_equal(unique_binary_rows(rows), expected)
+
+    def test_empty_and_degenerate_inputs(self):
+        empty = np.zeros((0, 4), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            unique_binary_rows(empty), np.unique(empty, axis=0)
+        )
+        single = np.ones((5, 1), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            unique_binary_rows(single), np.unique(single, axis=0)
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            unique_binary_rows(np.zeros(4, dtype=np.uint8))
+
+    def test_precomputed_unique_rows_change_nothing(self):
+        rng = np.random.default_rng(0)
+        rows = (rng.random((120, 12)) < 0.5).astype(np.uint8)
+        plain = binary_kmeans(rows, 8)
+        seeded = binary_kmeans(rows, 8, unique_rows=unique_binary_rows(rows))
+        np.testing.assert_array_equal(plain.centers, seeded.centers)
+        np.testing.assert_array_equal(plain.assignments, seeded.assignments)
+        assert plain.inertia == seeded.inertia

@@ -295,3 +295,70 @@ class TestNeuronArray:
             SpikingNeuronArray(arch, num_units=0)
         with pytest.raises(ValueError):
             SpikingNeuronArray(arch, threshold=0.0)
+
+
+class TestCountsFastPath:
+    """The counter-level preprocessor path must agree with the object path."""
+
+    def _random_level2(self, rng, rows, cols, density):
+        values = rng.choice([-1, 0, 1], size=(rows, cols), p=[density / 2, 1 - density, density / 2])
+        return values.astype(np.int8)
+
+    @pytest.mark.parametrize("needs_psum", [True, False])
+    @pytest.mark.parametrize("density", [0.0, 0.1, 0.6])
+    def test_compress_counts_matches_compress(self, arch, needs_psum, density):
+        rng = np.random.default_rng(7)
+        level2 = self._random_level2(rng, 40, 16, density)
+        rows = Compressor(arch).compress(level2, needs_psum=needs_psum)
+        counts = Compressor(arch).compress_counts(level2, needs_psum=needs_psum)
+        assert counts.cycles == rows.cycles
+        assert counts.filtered_rows == rows.filtered_rows
+        assert counts.total_nonzeros == rows.total_nonzeros
+        assert counts.row_ids.tolist() == [row.row_id for row in rows.rows]
+        assert counts.row_nonzeros.tolist() == [row.num_nonzeros for row in rows.rows]
+
+    @pytest.mark.parametrize("needs_psum", [True, False])
+    @pytest.mark.parametrize("windows", [1, 2, 4])
+    @pytest.mark.parametrize("pack_size", [4, 16])
+    def test_pack_counts_matches_pack_rows(self, needs_psum, windows, pack_size):
+        # pack_size=4 forces oversized rows to split across packs.
+        config = ArchConfig(pack_size=pack_size, packer_windows=windows)
+        rng = np.random.default_rng(windows * pack_size)
+        level2 = self._random_level2(rng, 200, 16, 0.4)
+        packer = Packer(config)
+        compressed = Compressor(config).compress(level2, needs_psum=needs_psum)
+        packed = packer.pack_rows(compressed.rows)
+        counts = packer.pack_counts(
+            Compressor(config).compress_counts(level2, needs_psum=needs_psum)
+        )
+        assert counts.num_packs == len(packed.packs)
+        assert counts.cycles == packed.cycles
+        assert counts.evictions == packed.evictions
+        assert counts.weight_units == sum(p.num_weight_units for p in packed.packs)
+        assert counts.psum_units == sum(p.num_psum_units for p in packed.packs)
+        assert counts.total_units == packed.total_units
+
+    def test_process_pack_counts_matches_process_packs(self, arch):
+        rng = np.random.default_rng(11)
+        level2 = self._random_level2(rng, 120, 16, 0.3)
+        compressed = Compressor(arch).compress(level2, needs_psum=True)
+        packed = Packer(arch).pack_rows(compressed.rows)
+        counts = Packer(arch).pack_counts(
+            Compressor(arch).compress_counts(level2, needs_psum=True)
+        )
+        processor = L2Processor(arch)
+        from_packs = processor.process_packs(packed.packs, output_width=32)
+        from_counts = processor.process_pack_counts(counts, output_width=32)
+        assert from_counts == from_packs
+
+    def test_process_tile_counts_matches_process_tile(self, arch, small_patterns):
+        rng = np.random.default_rng(5)
+        tile = (rng.random((64, 8)) < 0.4).astype(np.uint8)
+        preprocessor = Preprocessor(arch)
+        full = preprocessor.process_tile(tile, small_patterns, needs_psum=True)
+        counts = preprocessor.process_tile_counts(tile, small_patterns, needs_psum=True)
+        assert counts.cycles == full.cycles
+        assert counts.comparisons == full.matcher.comparisons
+        assert counts.total_nonzeros == full.compressor.total_nonzeros
+        assert counts.packs.num_packs == len(full.packer.packs)
+        assert counts.packs.cycles == full.packer.cycles

@@ -26,7 +26,7 @@ from repro.hw.pipeline import (
     StageRecord,
 )
 from repro.runner import SweepEngine, simulate_many, simulate_point
-from repro.runner.engine import _pending_batches
+from repro.runner.engine import _pending_units
 from repro.workloads import generate_random_workload
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
@@ -230,17 +230,21 @@ class TestSimulateMany:
         ]
 
 
-class TestPendingBatches:
-    def _points(self, specs):
+class TestPendingUnits:
+    def _points(self, specs, phi=None):
         from repro.experiments.common import TINY
         from repro.runner import SweepPoint
 
         return [
-            SweepPoint(workload=spec, arch=TINY.arch_config(), phi=TINY.phi_config())
+            SweepPoint(
+                workload=spec,
+                arch=TINY.arch_config(),
+                phi=phi or TINY.phi_config(),
+            )
             for spec in specs
         ]
 
-    def test_groups_by_base_workload(self):
+    def test_groups_by_workload_and_config(self):
         from dataclasses import replace
 
         from repro.runner import WorkloadSpec
@@ -248,26 +252,30 @@ class TestPendingBatches:
         base = WorkloadSpec("vgg16", "cifar10", batch_size=2, num_steps=2)
         other = WorkloadSpec("resnet18", "cifar10", batch_size=2, num_steps=2)
         paft = replace(base, paft_strength=0.5)
-        points = self._points([base, other, paft])
+        points = self._points([base, base, other, paft])
         pending = {f"k{i}": [i] for i in range(len(points))}
-        batches = _pending_batches(points, pending, jobs=1)
-        # The PAFT variant rides with its base workload's batch.
-        assert sorted(map(sorted, batches)) == [["k0", "k2"], ["k1"]]
+        units = _pending_units(points, pending)
+        # Same (spec, PhiConfig) -> one unit; the PAFT variant has its own
+        # calibration (computed on the aligned workload) so it is its own
+        # unit — base-workload sharing happens through the artifact store.
+        assert sorted(map(sorted, units)) == [["k0", "k1"], ["k2"], ["k3"]]
 
-    def test_splits_groups_when_fewer_than_jobs(self):
-        from repro.runner import WorkloadSpec
+    def test_distinct_configs_are_distinct_units(self):
+        from repro.experiments.common import TINY
+        from repro.runner import SweepPoint, WorkloadSpec
 
-        base = WorkloadSpec("vgg16", "cifar10", batch_size=2, num_steps=2)
-        points = self._points([base] * 4)
-        pending = {f"k{i}": [i] for i in range(4)}
-        batches = _pending_batches(points, pending, jobs=4)
-        assert len(batches) == 4
-        assert sorted(key for batch in batches for key in batch) == [
-            "k0",
-            "k1",
-            "k2",
-            "k3",
+        spec = WorkloadSpec("vgg16", "cifar10", batch_size=2, num_steps=2)
+        points = [
+            SweepPoint(
+                workload=spec,
+                arch=TINY.arch_config(num_patterns=q),
+                phi=TINY.phi_config(num_patterns=q),
+            )
+            for q in (8, 16)
         ]
+        pending = {f"k{i}": [i] for i in range(len(points))}
+        units = _pending_units(points, pending)
+        assert sorted(map(sorted, units)) == [["k0"], ["k1"]]
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,346 @@
+"""Tests for the shared artifact store and the store-aware sweep engine.
+
+Covers the npz round-trips (bit-exactness of loaded artifacts), atomic
+concurrent writes, the engine's compute-once guarantee across store
+instances, and the parallel determinism acceptance criterion (`--jobs 1`
+and `--jobs 4` produce byte-identical v3 records).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.runner.engine as engine_module
+from repro.core.calibration import PhiCalibrator
+from repro.core.config import PhiConfig
+from repro.core.sparsity import decompose_matrix, rebuild_decomposition
+from repro.experiments.common import TINY
+from repro.runner import (
+    ArtifactStore,
+    ResultCache,
+    SweepEngine,
+    SweepPoint,
+    WorkloadSpec,
+    calibration_for,
+)
+from repro.runner.store import (
+    KIND_CALIBRATION,
+    KIND_DECOMPOSITION,
+    KIND_WORKLOAD,
+    DecompositionArtifact,
+)
+from repro.workloads.generator import cached_workload, generate_random_workload
+
+
+def tiny_workload(seed: int = 0):
+    """A small deterministic random workload for store tests."""
+    return generate_random_workload(density=0.3, m=64, k=32, n=8, seed=seed)
+
+
+def tiny_config() -> PhiConfig:
+    """A cheap PhiConfig for store tests."""
+    return PhiConfig(partition_size=8, num_patterns=4, calibration_samples=64)
+
+
+def tiny_points(num: int = 3) -> list[SweepPoint]:
+    """Random-workload sweep points across distinct pattern counts."""
+    spec = WorkloadSpec.random(0.3, m=64, k=32, n=8)
+    return [
+        SweepPoint(
+            workload=spec,
+            arch=TINY.arch_config(num_patterns=2**q),
+            phi=TINY.phi_config(num_patterns=2**q),
+        )
+        for q in range(2, 2 + num)
+    ]
+
+
+class TestArtifactRoundtrips:
+    def test_workload_roundtrip_is_bit_exact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        workload = tiny_workload()
+        key = store.key(KIND_WORKLOAD, {"seed": 0})
+        store.put(KIND_WORKLOAD, key, workload)
+
+        loaded = ArtifactStore(tmp_path).get(KIND_WORKLOAD, key)  # fresh memo
+        assert loaded is not None
+        assert loaded.model_name == workload.model_name
+        assert loaded.layer_names() == workload.layer_names()
+        for original, restored in zip(workload, loaded):
+            np.testing.assert_array_equal(original.activations, restored.activations)
+            np.testing.assert_array_equal(original.weights, restored.weights)
+            assert restored.activations.dtype == original.activations.dtype
+
+    def test_calibration_roundtrip_is_bit_exact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        workload, config = tiny_workload(), tiny_config()
+        calibration = PhiCalibrator(config).calibrate_model(
+            workload.activation_matrices()
+        )
+        key = store.key(KIND_CALIBRATION, {"cfg": config.to_dict()})
+        store.put(KIND_CALIBRATION, key, calibration)
+
+        loaded = ArtifactStore(tmp_path).get(KIND_CALIBRATION, key)
+        assert loaded is not None
+        assert loaded.config == config
+        assert loaded.layer_names() == calibration.layer_names()
+        for name in calibration.layer_names():
+            original, restored = calibration[name], loaded[name]
+            assert restored.partition_size == original.partition_size
+            assert restored.total_width == original.total_width
+            for a, b in zip(original.pattern_sets, restored.pattern_sets):
+                np.testing.assert_array_equal(a.matrix, b.matrix)
+
+    def test_decomposition_roundtrip_rebuilds_bit_exact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        workload, config = tiny_workload(), tiny_config()
+        calibration = PhiCalibrator(config).calibrate_model(
+            workload.activation_matrices()
+        )
+        decompositions = {
+            layer.name: calibration[layer.name].decompose(layer.activations)
+            for layer in workload
+        }
+        key = store.key(KIND_DECOMPOSITION, {"cfg": config.to_dict()})
+        store.put(KIND_DECOMPOSITION, key, decompositions)
+
+        loaded = ArtifactStore(tmp_path).get(KIND_DECOMPOSITION, key)
+        assert isinstance(loaded, DecompositionArtifact)
+        rebuilt = loaded.rebuild(workload, calibration)
+        for name, original in decompositions.items():
+            restored = rebuilt[name]
+            assert restored.boundaries == original.boundaries
+            for a, b in zip(original.tiles, restored.tiles):
+                np.testing.assert_array_equal(a.pattern_indices, b.pattern_indices)
+                np.testing.assert_array_equal(a.level2, b.level2)
+                np.testing.assert_array_equal(a.original, b.original)
+
+    def test_rebuild_decomposition_matches_decompose_matrix(self):
+        workload, config = tiny_workload(seed=3), tiny_config()
+        layer = workload[0]
+        calibration = PhiCalibrator(config).calibrate_layer(
+            layer.name, layer.activations
+        )
+        direct = decompose_matrix(
+            layer.activations, calibration.pattern_sets, config.partition_size
+        )
+        rebuilt = rebuild_decomposition(
+            layer.activations,
+            calibration.pattern_sets,
+            config.partition_size,
+            direct.pattern_index_matrix(),
+        )
+        np.testing.assert_array_equal(rebuilt.reconstruct(), direct.reconstruct())
+        for a, b in zip(direct.tiles, rebuilt.tiles):
+            np.testing.assert_array_equal(a.level2, b.level2)
+
+    def test_corrupt_artifact_counts_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key(KIND_WORKLOAD, {"seed": 1})
+        store.put(KIND_WORKLOAD, key, tiny_workload(seed=1))
+        store.path_for(key).write_bytes(b"not an npz")
+        assert ArtifactStore(tmp_path).get(KIND_WORKLOAD, key) is None
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown artifact kind"):
+            ArtifactStore(tmp_path).key("nonsense", {})
+
+    def test_len_and_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for seed in range(3):
+            key = store.key(KIND_WORKLOAD, {"seed": seed})
+            store.put(KIND_WORKLOAD, key, tiny_workload(seed=seed))
+        assert len(store) == 3
+        assert store.clear() == 3
+        assert len(store) == 0
+
+
+class TestConcurrentWrites:
+    def test_concurrent_puts_never_corrupt_or_duplicate(self, tmp_path):
+        """Many writers, one shared key plus distinct keys, no corruption."""
+        store = ArtifactStore(tmp_path)
+        workload = tiny_workload()
+        shared_key = store.key(KIND_WORKLOAD, {"shared": True})
+
+        def write(i: int) -> None:
+            # Fresh store instances so nothing is served from a memo.
+            own = ArtifactStore(tmp_path)
+            own.put(KIND_WORKLOAD, shared_key, workload)
+            unique = own.key(KIND_WORKLOAD, {"writer": i})
+            own.put(KIND_WORKLOAD, unique, workload)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(write, range(16)))
+
+        # 1 shared + 16 unique entries, no temp-file litter, all readable.
+        assert len(ArtifactStore(tmp_path)) == 17
+        assert not list(tmp_path.rglob("*.tmp"))
+        fresh = ArtifactStore(tmp_path)
+        loaded = fresh.get(KIND_WORKLOAD, shared_key)
+        np.testing.assert_array_equal(
+            loaded[0].activations, workload[0].activations
+        )
+
+    def test_concurrent_cache_puts_are_atomic(self, tmp_path):
+        """The result cache tolerates racing writers on the same key."""
+        cache = ResultCache(tmp_path)
+        record = {"schema": 3, "value": list(range(100))}
+
+        def write(i: int) -> None:
+            ResultCache(tmp_path).put("ab" + "0" * 62, record)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(write, range(32)))
+        assert len(cache) == 1
+        assert cache.get("ab" + "0" * 62) == record
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+def _clear_process_memos() -> None:
+    """Drop every in-process memo so only the on-disk store can serve."""
+    cached_workload.cache_clear()
+    engine_module._CALIBRATION_MEMO.clear()
+    engine_module._random_workload.cache_clear()
+
+
+class TestStoreBackedEngine:
+    @pytest.fixture()
+    def counted_kmeans(self, monkeypatch):
+        """Count PhiCalibrator.calibrate_model invocations."""
+        calls = {"n": 0}
+        original = PhiCalibrator.calibrate_model
+
+        def counting(self, layer_activations):
+            calls["n"] += 1
+            return original(self, layer_activations)
+
+        monkeypatch.setattr(PhiCalibrator, "calibrate_model", counting)
+        return calls
+
+    def test_calibration_computed_once_ever(self, tmp_path, counted_kmeans):
+        point = tiny_points(1)[0]
+        _clear_process_memos()
+        engine = SweepEngine(store=ArtifactStore(tmp_path))
+        first = engine.run([point])[0]
+        assert counted_kmeans["n"] == 1
+
+        # New store instance, cleared memos: everything must come off disk.
+        _clear_process_memos()
+        engine = SweepEngine(store=ArtifactStore(tmp_path))
+        second = engine.run([point])[0]
+        assert counted_kmeans["n"] == 1
+        assert first == second
+
+    def test_store_and_storeless_records_agree(self, tmp_path):
+        point = tiny_points(1)[0]
+        _clear_process_memos()
+        with_store = SweepEngine(store=ArtifactStore(tmp_path)).run([point])[0]
+        _clear_process_memos()
+        without_store = SweepEngine().run([point])[0]
+        assert with_store == without_store
+
+    def test_paft_point_uses_store(self, tmp_path, counted_kmeans):
+        spec = WorkloadSpec(
+            "vgg16", "cifar10", batch_size=2, num_steps=2, paft_strength=0.5
+        )
+        point = SweepPoint(
+            workload=spec, arch=TINY.arch_config(), phi=TINY.phi_config()
+        )
+        _clear_process_memos()
+        first = SweepEngine(store=ArtifactStore(tmp_path)).run([point])[0]
+        # Base calibration (alignment target) + aligned-workload calibration.
+        assert counted_kmeans["n"] == 2
+
+        _clear_process_memos()
+        second = SweepEngine(store=ArtifactStore(tmp_path)).run([point])[0]
+        assert counted_kmeans["n"] == 2
+        assert first == second
+
+    def test_calibration_for_does_not_mutate_workloads(self):
+        workload = tiny_workload(seed=7)
+        calibration_for(workload, tiny_config())
+        assert not hasattr(workload, "_phi_calibration_cache")
+        assert "_phi_calibration_cache" not in vars(workload)
+
+
+class TestParallelDeterminism:
+    def test_jobs1_and_jobs4_records_byte_identical(self, tmp_path):
+        """Acceptance criterion: parallel runs cache byte-identical records."""
+        points = tiny_points(3)
+
+        serial_cache = tmp_path / "serial"
+        with SweepEngine(
+            cache=ResultCache(serial_cache),
+            store=ArtifactStore(tmp_path / "serial-store"),
+            jobs=1,
+        ) as engine:
+            serial_records = engine.run(points)
+
+        parallel_cache = tmp_path / "parallel"
+        with SweepEngine(
+            cache=ResultCache(parallel_cache),
+            store=ArtifactStore(tmp_path / "parallel-store"),
+            jobs=4,
+        ) as engine:
+            parallel_records = engine.run(points)
+
+        assert serial_records == parallel_records
+        serial_files = {p.name: p for p in serial_cache.glob("*/*.json")}
+        parallel_files = {p.name: p for p in parallel_cache.glob("*/*.json")}
+        assert sorted(serial_files) == sorted(parallel_files)
+        for name, path in serial_files.items():
+            assert path.read_bytes() == parallel_files[name].read_bytes(), name
+
+    def test_warm_pool_survives_across_runs(self, tmp_path):
+        points = tiny_points(2)
+        with SweepEngine(
+            store=ArtifactStore(tmp_path), cache=ResultCache(tmp_path / "c"), jobs=2
+        ) as engine:
+            first = engine.run(points)
+            pool = engine._pool
+            assert pool is not None
+            second = engine.run(tiny_points(3))
+            assert engine._pool is pool  # same warm pool, not respawned
+        assert engine._pool is None  # closed on exit
+        assert [r["total_cycles"] for r in first] == [
+            r["total_cycles"] for r in second[:2]
+        ]
+
+
+class TestBenchTrajectory:
+    def test_append_and_check(self, tmp_path):
+        from repro.bench import BenchResult, append_results, check_against_baseline
+
+        result = BenchResult(
+            schema=1,
+            timestamp="2026-07-30T00:00:00+00:00",
+            experiment="fig7",
+            scale="tiny",
+            scenario="serial_cold",
+            jobs=1,
+            wall_seconds=1.0,
+            sweep_seconds=0.8,
+            points=16,
+            cache_hits=1,
+            executed=15,
+            code_version="1.0.0",
+            python="3.11",
+            cpu_count=1,
+        )
+        output = tmp_path / "BENCH_sweep.json"
+        append_results([result], output)
+        append_results([result], output)
+        entries = json.loads(output.read_text())
+        assert len(entries) == 2
+        assert entries[0]["scenario"] == "serial_cold"
+
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"fig7/tiny/serial_cold": 1.0}))
+        assert check_against_baseline([result], baseline) == []
+        slow = BenchResult(**{**entries[0], "wall_seconds": 2.5})
+        failures = check_against_baseline([slow], baseline)
+        assert len(failures) == 1 and "serial_cold" in failures[0]
