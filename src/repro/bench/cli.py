@@ -12,12 +12,19 @@ serial_cold     fresh         fresh         1
 parallel_cold   fresh         fresh         N
 warm_store      fresh         kept          1
 fully_warm      kept          kept          1
+service_warm    kept          kept          1
 ==============  ============  ============  ====
 
 ``warm_store`` is the headline scenario of the artifact store: every
 simulation still runs (the result cache is empty) but workloads,
 calibrations and decompositions load from disk instead of being
 recomputed.
+
+``service_warm`` measures the served path: a ``python -m repro.service``
+subprocess owns the warm engine and the measurement is one client
+end-to-end round trip — submit the experiment as a job, wait for it,
+fetch every raw record — so the delta over ``fully_warm`` is the HTTP +
+job-model overhead of sweep-as-a-service.
 
 Examples
 --------
@@ -43,6 +50,7 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import asdict, dataclass
 from datetime import datetime, timezone
@@ -50,9 +58,15 @@ from datetime import datetime, timezone
 #: Bump when the entry layout in ``BENCH_sweep.json`` changes.
 BENCH_SCHEMA_VERSION = 1
 
-#: Scenario execution order (``warm_store``/``fully_warm`` reuse the
-#: directories the first cold run populated).
-SCENARIOS = ("serial_cold", "parallel_cold", "warm_store", "fully_warm")
+#: Scenario execution order (``warm_store``/``fully_warm``/
+#: ``service_warm`` reuse the directories the first cold run populated).
+SCENARIOS = (
+    "serial_cold",
+    "parallel_cold",
+    "warm_store",
+    "fully_warm",
+    "service_warm",
+)
 
 #: Default trajectory file, kept at the repository root.
 DEFAULT_OUTPUT = "BENCH_sweep.json"
@@ -150,6 +164,14 @@ def run_scenario(
     elif scenario == "warm_store":
         shutil.rmtree(cache_dir, ignore_errors=True)
 
+    if scenario == "service_warm":
+        return _run_service_scenario(
+            experiment=experiment,
+            scale=scale,
+            cache_dir=cache_dir,
+            store_dir=store_dir,
+        )
+
     scenario_jobs = jobs if scenario == "parallel_cold" else 1
     command = _runner_command(experiment, scale, scenario_jobs, cache_dir, store_dir)
     start = time.perf_counter()
@@ -178,6 +200,88 @@ def run_scenario(
         python=platform.python_version(),
         cpu_count=os.cpu_count() or 1,
     )
+
+
+def _run_service_scenario(
+    *,
+    experiment: str,
+    scale: str,
+    cache_dir: pathlib.Path,
+    store_dir: pathlib.Path,
+) -> BenchResult:
+    """Time one client round trip against a freshly served warm engine.
+
+    Boots ``python -m repro.service serve --port 0`` as a subprocess on
+    the (warm) scenario directories, waits for its "serving on" line,
+    then measures submit → wait → fetch-all-records from this process.
+    Server boot time is excluded on purpose: the service is long-lived,
+    the per-request path is what the trajectory tracks.
+    """
+    from .. import __version__
+    from ..service.client import ServiceClient
+
+    command = [
+        sys.executable,
+        "-m",
+        "repro.service",
+        "serve",
+        "--port",
+        "0",
+        "--cache-dir",
+        str(cache_dir),
+        "--store-dir",
+        str(store_dir),
+        "--quiet",
+    ]
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=os.environ.copy(),
+    )
+    try:
+        # readline() has no timeout of its own; a watchdog thread bounds
+        # a hung startup so CI fails fast instead of hitting job limits.
+        first_line: list[str] = []
+        reader = threading.Thread(
+            target=lambda: first_line.append(process.stdout.readline()), daemon=True
+        )
+        reader.start()
+        reader.join(timeout=120)
+        line = first_line[0].strip() if first_line else ""
+        if not line.startswith("serving on "):
+            process.kill()
+            tail = line + (process.stdout.read() or "")
+            raise RuntimeError(f"service failed to start ({' '.join(command)}):\n{tail}")
+        client = ServiceClient(line.split()[-1])
+        start = time.perf_counter()
+        job = client.run(experiment, scale=scale, timeout=600.0)
+        client.records_for(job)
+        wall = time.perf_counter() - start
+        progress = job["progress"]
+        client.shutdown()
+        process.wait(timeout=60)
+        return BenchResult(
+            schema=BENCH_SCHEMA_VERSION,
+            timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            experiment=experiment,
+            scale=scale,
+            scenario="service_warm",
+            jobs=1,
+            wall_seconds=round(wall, 3),
+            sweep_seconds=None,
+            points=progress["points"],
+            cache_hits=progress["cache_hits"],
+            executed=progress["executed"],
+            code_version=__version__,
+            python=platform.python_version(),
+            cpu_count=os.cpu_count() or 1,
+        )
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
 
 
 def append_results(results: list[BenchResult], output: pathlib.Path) -> None:

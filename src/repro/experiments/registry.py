@@ -115,6 +115,58 @@ class ExperimentSpec:
         """Import and return the harness entry-point callable."""
         return getattr(import_module(self.module), self.entry_point)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable export of this spec (the service's wire form).
+
+        Everything a remote client needs to enumerate experiments and
+        build requests: identity, claim, per-tier presets (tuples
+        converted to lists) and the engine/scale capability flags.
+        Round-trips through :meth:`from_dict`.
+        """
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "paper_ref": self.paper_ref,
+            "section": self.section,
+            "claim": self.claim,
+            "module": self.module,
+            "entry_point": self.entry_point,
+            "uses_engine": self.uses_engine,
+            "uses_scale": self.uses_scale,
+            "presets": _jsonify(self.presets),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from its :meth:`to_dict` export.
+
+        Raises
+        ------
+        ValueError
+            When ``payload`` carries unknown or missing fields — a
+            deserialisation error surfaces here, never deeper in a
+            worker.
+        """
+        fields = {
+            "name",
+            "kind",
+            "paper_ref",
+            "section",
+            "claim",
+            "module",
+            "entry_point",
+            "uses_engine",
+            "uses_scale",
+            "presets",
+        }
+        unknown = set(payload) - fields
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
+        missing = fields - set(payload)
+        if missing:
+            raise ValueError(f"missing ExperimentSpec fields: {sorted(missing)}")
+        return cls(**{key: payload[key] for key in fields})
+
     def kwargs_for(self, scale_name: str) -> dict[str, Any]:
         """The preset keyword overrides for one scale tier."""
         return dict(self.presets.get(scale_name, {}))
@@ -154,6 +206,15 @@ class ExperimentSpec:
         if self.uses_scale:
             return runner(scale_obj, **kwargs)
         return runner(**kwargs)
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert tuples/mappings into JSON-native lists/dicts."""
+    if isinstance(value, Mapping):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
 
 
 def _spec(name: str, **kwargs: Any) -> ExperimentSpec:
@@ -335,6 +396,15 @@ def get_experiment(name: str) -> ExperimentSpec:
         raise KeyError(
             f"unknown experiment {name!r}; registered: {experiment_names()}"
         ) from None
+
+
+def registry_json() -> list[dict[str, Any]]:
+    """The full registry as JSON-serialisable spec dicts, in paper order.
+
+    This is the payload of the service's ``GET /experiments`` endpoint;
+    each entry round-trips through :meth:`ExperimentSpec.from_dict`.
+    """
+    return [spec.to_dict() for spec in REGISTRY]
 
 
 def registry_markdown_table() -> str:

@@ -97,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the shared workload/calibration store",
     )
     parser.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help=(
+            "build the report against a running `python -m repro.service "
+            "serve` instead of simulating locally"
+        ),
+    )
+    parser.add_argument(
         "--no-figures",
         action="store_true",
         help="skip matplotlib figures even when matplotlib is available",
@@ -126,16 +135,28 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     specs = _select_specs(args.only)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    store = None if args.no_store else ArtifactStore(args.store_dir)
-    engine = SweepEngine(
-        cache=cache, jobs=args.jobs, progress=not args.quiet, store=store
-    )
+    client = None
+    if args.remote:
+        from ..service.client import ServiceClient
+
+        client = ServiceClient(args.remote)
+        cache = None
+        engine = SweepEngine()  # never run; sections come from the service
+    else:
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        store = None if args.no_store else ArtifactStore(args.store_dir)
+        engine = SweepEngine(
+            cache=cache, jobs=args.jobs, progress=not args.quiet, store=store
+        )
+    command = f"python -m repro.report --scale {args.scale}"
+    if args.only:
+        command += f" --only {args.only}"
+    if args.remote:
+        command += f" --remote {args.remote}"
     artifact = ReportArtifact(
         root=pathlib.Path(args.output),
         scale_name=args.scale,
-        command=f"python -m repro.report --scale {args.scale}"
-        + (f" --only {args.only}" if args.only else ""),
+        command=command,
     )
     if args.no_figures:
         artifact_figures = False
@@ -153,14 +174,25 @@ def main(argv: list[str] | None = None) -> int:
         for spec in specs:
             key = section_cache_key(spec, args.scale)
             section_start = time.perf_counter()
-            payload = load_section(cache, key)
-            if payload is not None:
-                origin = "cache"
+            if client is not None:
+                from ..service.client import ServiceError
+
+                try:
+                    job = client.run(spec.name, scale=args.scale)
+                except ServiceError as error:
+                    print(f"error: [{spec.name}] {error}", file=sys.stderr)
+                    return 1
+                payload = job["payload"]
+                origin = "remote"
             else:
-                result = spec.run(args.scale, engine=engine)
-                payload = build_payload(spec, result)
-                store_section(cache, key, payload)
-                origin = "run"
+                payload = load_section(cache, key)
+                if payload is not None:
+                    origin = "cache"
+                else:
+                    result = spec.run(args.scale, engine=engine)
+                    payload = build_payload(spec, result)
+                    store_section(cache, key, payload)
+                    origin = "run"
             elapsed = time.perf_counter() - section_start
             if not args.quiet:
                 print(f"[{spec.name}] {origin} in {elapsed:.2f}s", file=sys.stderr)
@@ -175,6 +207,12 @@ def main(argv: list[str] | None = None) -> int:
 
     report_path = artifact.write()
     total = time.perf_counter() - start
+    if client is not None:
+        print(
+            f"wrote {report_path} ({len(specs)} experiments, {total:.2f}s; "
+            f"all sections served by {args.remote})"
+        )
+        return 0
     stats = engine.stats
     print(
         f"wrote {report_path} ({len(specs)} experiments, {total:.2f}s; "

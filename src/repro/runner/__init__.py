@@ -25,6 +25,7 @@ from .engine import (
     calibration_for,
     default_engine,
     model_for,
+    progress_scope,
     simulate_many,
     simulate_point,
     summarize_run,
@@ -50,6 +51,7 @@ __all__ = [
     "default_engine",
     "default_store_dir",
     "model_for",
+    "progress_scope",
     "simulate_many",
     "simulate_point",
     "summarize_run",

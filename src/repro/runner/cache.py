@@ -111,19 +111,34 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*/*.json"))
 
-    def records(self):
-        """Yield ``(path, record)`` for every readable cached JSON record.
+    def records(self, *, include_corrupt: bool = False):
+        """Yield ``(path, record)`` for every cached JSON record.
 
-        Unreadable or corrupt files are skipped, mirroring :meth:`get`'s
-        miss semantics.  Used by ``python -m repro.runner validate-cache``
-        to audit a cache directory against the current record schema.
+        Unreadable or corrupt files are skipped by default, mirroring
+        :meth:`get`'s miss semantics; with ``include_corrupt=True`` they
+        are yielded as ``(path, None)`` instead, so auditors
+        (``python -m repro.runner validate-cache``) can report them
+        rather than silently pass.
         """
         for path in self.record_paths():
             try:
                 record = json.loads(path.read_text())
             except (OSError, ValueError):
+                if include_corrupt and path.exists():
+                    yield path, None
                 continue
             yield path, record
+
+    def snapshot(self) -> dict[str, dict]:
+        """A point-in-time ``{key: record}`` view of every readable record.
+
+        Safe under concurrent writers: the directory listing is taken
+        once, files that vanish or are mid-replace read as misses (all
+        writes are atomic ``os.replace``), and the returned mapping never
+        mutates afterwards.  The key is recovered from the file name, so
+        ``snapshot()[k] == get(k)`` for every returned key.
+        """
+        return {path.stem: record for path, record in self.records()}
 
     def __len__(self) -> int:
         return len(self.record_paths())

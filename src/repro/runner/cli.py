@@ -85,6 +85,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--quiet", "-q", action="store_true", help="suppress progress output"
     )
+    parser.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help=(
+            "submit to a running `python -m repro.service serve` instead of "
+            "simulating locally (e.g. http://127.0.0.1:8731)"
+        ),
+    )
 
 
 def _report(engine: SweepEngine, elapsed: float) -> None:
@@ -95,9 +104,49 @@ def _report(engine: SweepEngine, elapsed: float) -> None:
     )
 
 
+def _run_remote(
+    args: argparse.Namespace, name: str, overrides: dict | None = None
+) -> int:
+    """Execute a registered experiment on a remote sweep service.
+
+    Submits ``(name, scale, overrides)`` as a job, waits for it, and
+    renders the returned section payload — so the remote path produces
+    the same Markdown as ``python -m repro.report --only <name>`` while
+    all simulation happens in the service's warm engine.
+    """
+    from ..experiments.registry import get_experiment
+    from ..report.emitters import section_markdown
+    from ..service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.remote)
+    start = time.perf_counter()
+    try:
+        job = client.submit(name, scale=args.scale, overrides=overrides or {})
+        if not args.quiet and job.get("deduplicated"):
+            print(f"joined in-flight job {job['id']}", file=sys.stderr)
+        if job["status"] != "done":
+            job = client.wait_for(job["id"])
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    print(section_markdown(get_experiment(name), job["payload"]))
+    progress = job["progress"]
+    print(
+        f"\n{progress['points']} points via {args.remote} "
+        f"(job {job['id']}): {progress['cache_hits']} cache hits, "
+        f"{progress['executed']} simulated, "
+        f"{progress['inflight_hits']} shared in-flight, "
+        f"{elapsed:.2f}s wall-clock"
+    )
+    return 0
+
+
 def _cmd_fig7(args: argparse.Namespace) -> int:
     from ..experiments.fig7 import run_fig7
 
+    if args.remote:
+        return _run_remote(args, "fig7")
     with _engine_from_args(args) as engine:
         start = time.perf_counter()
         result = run_fig7(_scale(args.scale), engine=engine)
@@ -111,6 +160,12 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
     from ..experiments.fig8 import DEFAULT_WORKLOADS, FULL_WORKLOADS, run_fig8
 
     workloads = FULL_WORKLOADS if args.full else DEFAULT_WORKLOADS
+    if args.remote:
+        # Always send the workload list: the local path runs exactly
+        # these workloads, and omitting them would let the registry's
+        # per-tier presets pick a different set remotely.
+        overrides = {"workloads": [list(pair) for pair in workloads]}
+        return _run_remote(args, "fig8", overrides)
     with _engine_from_args(args) as engine:
         start = time.perf_counter()
         result = run_fig8(_scale(args.scale), workloads=workloads, engine=engine)
@@ -123,6 +178,8 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 def _cmd_fig12(args: argparse.Namespace) -> int:
     from ..experiments.fig12 import run_fig12
 
+    if args.remote:
+        return _run_remote(args, "fig12")
     with _engine_from_args(args) as engine:
         start = time.perf_counter()
         result = run_fig12(_scale(args.scale), engine=engine)
@@ -136,6 +193,8 @@ def _cmd_exp(args: argparse.Namespace) -> int:
     from ..experiments.registry import get_experiment
     from ..report.emitters import build_payload, section_markdown
 
+    if args.remote:
+        return _run_remote(args, args.name)
     spec = get_experiment(args.name)
     with _engine_from_args(args) as engine:
         start = time.perf_counter()
@@ -149,6 +208,13 @@ def _cmd_exp(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from ..experiments.common import format_table
 
+    if args.remote:
+        print(
+            "error: `sweep` builds ad-hoc grids and cannot run remotely; "
+            "use a registered experiment (`exp <name> --remote URL`)",
+            file=sys.stderr,
+        )
+        return 2
     scale = _scale(args.scale)
     pattern_counts = [int(q) for q in args.patterns.split(",") if q]
     spec = WorkloadSpec(
@@ -212,12 +278,27 @@ def _cmd_validate_cache(args: argparse.Namespace) -> int:
     valid = legacy = skipped = total = 0
     problems: list[str] = []
     start = time.perf_counter()
-    for path, record in cache.records():
+    for path, record in cache.records(include_corrupt=True):
         total += 1
-        if not isinstance(record, dict) or "accelerator" not in record:
-            # Report-section payloads share the cache directory; they are
-            # validated by the report pipeline, not the sweep schema.
-            skipped += 1
+        if record is None:
+            # The engine treats a corrupt file as a miss, but an auditor
+            # must report it — silently passing defeats the point.
+            problems.append(f"{path}: unreadable or corrupt JSON")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{path}: record is {type(record).__name__}, expected dict")
+            continue
+        if "schema" not in record:
+            # Every sweep record since v3 embeds its own "schema" field,
+            # so that — not any payload key a broken record might have
+            # lost — is the sweep/section discriminator: schema-less
+            # entries are pre-v3 sweep records (dead keys, counted as
+            # legacy) or report-section payloads, which are validated by
+            # the report pipeline, not the sweep schema.
+            if "accelerator" in record:
+                legacy += 1
+            else:
+                skipped += 1
             continue
         if record.get("schema") != CACHE_SCHEMA_VERSION:
             # Pre-v3 records hash to keys the engine can no longer

@@ -27,11 +27,12 @@ from __future__ import annotations
 
 import contextlib
 import sys
+import threading
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..baselines.registry import BASELINE_CLASSES, get_accelerator
 from ..core.calibration import ModelCalibration, PhiCalibrator
@@ -284,29 +285,60 @@ def calibration_for(workload: ModelWorkload, config: PhiConfig) -> ModelCalibrat
 # --------------------------------------------------------------------- #
 # Shared-artifact resolution (store-aware)
 # --------------------------------------------------------------------- #
-#: The artifact store consulted by the spec-level resolution helpers.
-#: ``None`` keeps the pure in-process behaviour.  Serial engine runs
-#: activate their store around the batch loop; pool workers set it once
-#: in their initializer.
-_ACTIVE_STORE: ArtifactStore | None = None
+#: The artifact store consulted by the spec-level resolution helpers,
+#: held *per thread* so concurrent :meth:`SweepEngine.run` calls (the job
+#: service dispatches from multiple threads) never swap each other's
+#: store out mid-batch.  ``None`` keeps the pure in-process behaviour.
+#: Serial engine runs activate their store around the batch loop; pool
+#: workers set it once in their initializer.
+_ACTIVE = threading.local()
+
+
+def _current_store() -> ArtifactStore | None:
+    """The artifact store installed for the calling thread, if any."""
+    return getattr(_ACTIVE, "store", None)
 
 
 @contextlib.contextmanager
 def _active_store(store: ArtifactStore | None):
-    """Temporarily install ``store`` as the process's artifact store."""
-    global _ACTIVE_STORE
-    previous = _ACTIVE_STORE
-    _ACTIVE_STORE = store
+    """Temporarily install ``store`` as the calling thread's artifact store."""
+    previous = _current_store()
+    _ACTIVE.store = store
     try:
         yield
     finally:
-        _ACTIVE_STORE = previous
+        _ACTIVE.store = previous
 
 
 def _pool_initializer(store_root: str | None) -> None:
     """Worker start-up: install the on-disk artifact store, if any."""
-    global _ACTIVE_STORE
-    _ACTIVE_STORE = ArtifactStore(store_root) if store_root is not None else None
+    _ACTIVE.store = ArtifactStore(store_root) if store_root is not None else None
+
+
+#: Per-thread progress hook installed by :func:`progress_scope`.  The
+#: engine is shared by every service job, so progress cannot be an
+#: engine-level attribute: each dispatcher thread sees only its own
+#: job's completions.
+_PROGRESS = threading.local()
+
+
+@contextlib.contextmanager
+def progress_scope(hook: Callable[[int, int, "SweepPoint", str], None]):
+    """Receive per-point completion callbacks from enclosed engine runs.
+
+    Every :meth:`SweepEngine.run` executed by the calling thread inside
+    the ``with`` block invokes ``hook(done, total, point, origin)`` once
+    per settled point, where ``origin`` is ``"cache"`` (result cache
+    hit), ``"run"`` (simulated by this call) or ``"inflight"`` (shared
+    with a concurrent run of the same point in another thread).  The
+    hook runs on the engine thread and must be cheap and exception-free.
+    """
+    previous = getattr(_PROGRESS, "hook", None)
+    _PROGRESS.hook = hook
+    try:
+        yield
+    finally:
+        _PROGRESS.hook = previous
 
 
 def _base_spec(spec: WorkloadSpec) -> WorkloadSpec:
@@ -327,7 +359,7 @@ def _artifact_payload(spec: WorkloadSpec, config: PhiConfig | None) -> dict:
 def _stored_base_workload(spec: WorkloadSpec) -> ModelWorkload:
     """Base workload for ``spec``: store hit or generate-and-store."""
     spec = _base_spec(spec)
-    store = _ACTIVE_STORE
+    store = _current_store()
     if store is None:
         return _base_workload(spec)
     key = store.key(KIND_WORKLOAD, _artifact_payload(spec, None))
@@ -347,7 +379,7 @@ def _stored_calibration(
     (including PAFT fields) for an aligned workload, the base spec for a
     base workload — because it is what the store key is derived from.
     """
-    store = _ACTIVE_STORE
+    store = _current_store()
     if store is None:
         return calibration_for(workload, config)
     key = store.key(KIND_CALIBRATION, _artifact_payload(spec, config))
@@ -371,7 +403,7 @@ def _stored_decompositions(
     :class:`~repro.runner.store.DecompositionArtifact`), which is
     bit-exact and much cheaper than re-matching.
     """
-    store = _ACTIVE_STORE
+    store = _current_store()
     if store is None:
         return {
             layer.name: calibration[layer.name].decompose(layer.activations)
@@ -391,6 +423,11 @@ def _stored_decompositions(
     if isinstance(found, DecompositionArtifact):
         return found.rebuild(workload, calibration)
     return found
+
+
+def _seed_workload(spec: WorkloadSpec) -> None:
+    """Pool task: materialise one base workload into the worker's store."""
+    _stored_base_workload(spec)
 
 
 def _base_workload(spec: WorkloadSpec) -> ModelWorkload:
@@ -456,7 +493,7 @@ def _resolve_workload(point: SweepPoint) -> ModelWorkload:
         return _stored_base_workload(spec)
     if point.phi is None:
         raise ValueError("PAFT workloads need a PhiConfig for calibration")
-    store = _ACTIVE_STORE
+    store = _current_store()
     if store is not None:
         # Aligned workloads are themselves store artifacts, keyed by the
         # full spec (PAFT fields included) plus the aligning PhiConfig.
@@ -593,7 +630,7 @@ def _model_record(point: SweepPoint) -> dict:
         # simulator self-calibrate — but shareable.
         calibration = _stored_calibration(point.workload, point.phi, workload)
         decompositions = None
-        if _ACTIVE_STORE is not None:
+        if _current_store() is not None:
             decompositions = _stored_decompositions(
                 point.workload, point.phi, workload, calibration
             )
@@ -777,16 +814,34 @@ def _pending_units(
 
 @dataclass
 class SweepStats:
-    """Accounting of one or more :meth:`SweepEngine.run` calls."""
+    """Accounting of one or more :meth:`SweepEngine.run` calls.
+
+    ``inflight_hits`` counts points that were neither cached nor
+    simulated by their own run: a concurrent :meth:`SweepEngine.run` in
+    another thread was already computing the identical point, and this
+    run waited for that record instead of duplicating the work.
+    """
 
     requested: int = 0
     cache_hits: int = 0
     executed: int = 0
+    inflight_hits: int = 0
 
     @property
     def hit_ratio(self) -> float:
         """Fraction of requested points served from the cache."""
         return self.cache_hits / self.requested if self.requested else 0.0
+
+
+class _InFlight:
+    """One pending point owned by some engine thread; others wait on it."""
+
+    __slots__ = ("event", "record", "failed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.record: dict | None = None
+        self.failed = False
 
 
 class SweepEngine:
@@ -828,25 +883,47 @@ class SweepEngine:
         self.store = store
         self.stats = SweepStats()
         self._pool: ProcessPoolExecutor | None = None
+        # run() is re-entrant across threads (the job service dispatches
+        # concurrent jobs onto one engine): the lock guards stats, pool
+        # lifecycle and the in-flight table; the table guarantees a point
+        # being simulated by one thread is never simulated again by
+        # another — later arrivals wait for the first record.
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _InFlight] = {}
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
     # ------------------------------------------------------------------ #
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            store_root = str(self.store.root) if self.store is not None else None
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_pool_initializer,
-                initargs=(store_root,),
-            )
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                store_root = str(self.store.root) if self.store is not None else None
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_pool_initializer,
+                    initargs=(store_root,),
+                )
+            return self._pool
+
+    def warm_up(self) -> None:
+        """Create the worker pool now instead of on the first parallel run.
+
+        Long-lived multithreaded owners (the job service) call this
+        *before* starting their dispatcher/HTTP threads: the pool's
+        worker processes are forked while the parent is still
+        single-threaded, which sidesteps the classic
+        fork-under-threads hazard of a child inheriting a lock some
+        other thread held at fork time.  No-op for serial engines.
+        """
+        if self.jobs > 1:
+            self._ensure_pool()
 
     def close(self) -> None:
         """Shut down the warm worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "SweepEngine":
         return self
@@ -868,6 +945,35 @@ class SweepEngine:
                 file=sys.stderr,
                 flush=True,
             )
+        hook = getattr(_PROGRESS, "hook", None)
+        if hook is not None:
+            hook(done, total, point, origin)
+
+    def _count(self, field: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self.stats, field, getattr(self.stats, field) + n)
+
+    def _claim(self, key: str) -> tuple[_InFlight, bool]:
+        """Claim ``key`` for this run, or join another thread's claim.
+
+        Returns the in-flight entry and whether this run owns it (owner
+        computes and must resolve; joiners wait on the entry's event).
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                return entry, False
+            entry = self._inflight[key] = _InFlight()
+            return entry, True
+
+    def _resolve(self, key: str, record: dict | None, *, failed: bool = False) -> None:
+        """Publish an owned key's record (or failure) and release waiters."""
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+        if entry is not None:
+            entry.record = record
+            entry.failed = failed
+            entry.event.set()
 
     def run(self, points: Sequence[SweepPoint]) -> list[dict]:
         """Execute every point (cache first), preserving input order.
@@ -882,6 +988,14 @@ class SweepEngine:
         Records stream back as futures complete and are written to the
         result cache incrementally.
 
+        ``run`` is re-entrant: concurrent calls from multiple threads
+        (the job service's dispatchers) share one engine safely, and a
+        point already being simulated by another thread is *waited for*,
+        never recomputed — each distinct point is simulated exactly once
+        across all concurrent runs (see :class:`SweepStats`'s
+        ``inflight_hits``).  Progress can be observed per-thread via
+        :func:`progress_scope`.
+
         Parameters
         ----------
         points:
@@ -893,25 +1007,19 @@ class SweepEngine:
             One JSON-friendly record per input point, in input order.
         """
         points = list(points)
-        self.stats.requested += len(points)
+        self._count("requested", len(points))
         records: list[dict | None] = [None] * len(points)
-        # key -> indices of every point that resolves to that key.
+        # key -> indices of every point that resolves to that key; owned
+        # keys are computed by this run, awaited keys by a concurrent one.
         pending: dict[str, list[int]] = {}
+        awaited: dict[str, tuple[list[int], _InFlight]] = {}
         done = 0
 
-        for i, point in enumerate(points):
-            key = point.cache_key()
-            if key in pending:
-                pending[key].append(i)
-                continue
-            cached = self.cache.get(key) if self.cache else None
-            if cached is not None:
-                records[i] = cached
-                self.stats.cache_hits += 1
-                done += 1
-                self._emit(done, len(points), point, "cache")
-            else:
-                pending[key] = [i]
+        # Owned keys not yet settled — what the failure path must
+        # release.  Tracked separately from `pending` because a settled
+        # key may already have been re-claimed by another thread (no
+        # cache), and resolving it again would fail that thread's entry.
+        unsettled: set[str] = set()
 
         def settle(key: str, record: dict) -> None:
             nonlocal done
@@ -920,19 +1028,83 @@ class SweepEngine:
                 done += 1
                 self._emit(done, len(points), points[i], "run")
             self._finish(points[pending[key][0]], record)
+            unsettled.discard(key)
+            self._resolve(key, record)
 
-        if pending:
-            units = _pending_units(points, pending)
-            if self.jobs == 1 or len(pending) == 1:
-                with _active_store(self.store):
-                    for keys in units:
-                        results = simulate_many(
-                            [points[pending[k][0]] for k in keys]
-                        )
-                        for key, record in zip(keys, results):
-                            settle(key, record)
+        try:
+            for i, point in enumerate(points):
+                key = point.cache_key()
+                if key in pending:
+                    pending[key].append(i)
+                    continue
+                if key in awaited:
+                    awaited[key][0].append(i)
+                    continue
+                cached = self.cache.get(key) if self.cache is not None else None
+                if cached is None:
+                    entry, owned = self._claim(key)
+                    if owned and self.cache is not None:
+                        # The previous owner may have finished (and
+                        # cached) between our miss and our claim;
+                        # re-check so the exactly-once guarantee has no
+                        # race window.
+                        cached = self.cache.get(key)
+                        if cached is not None:
+                            self._resolve(key, cached)
+                if cached is not None:
+                    records[i] = cached
+                    self._count("cache_hits")
+                    done += 1
+                    self._emit(done, len(points), point, "cache")
+                elif owned:
+                    pending[key] = [i]
+                    unsettled.add(key)
+                else:
+                    awaited[key] = ([i], entry)
+
+            if pending:
+                units = _pending_units(points, pending)
+                if self.jobs == 1 or len(pending) == 1:
+                    with _active_store(self.store):
+                        for keys in units:
+                            results = simulate_many(
+                                [points[pending[k][0]] for k in keys]
+                            )
+                            for key, record in zip(keys, results):
+                                settle(key, record)
+                else:
+                    self._run_parallel(points, pending, units, settle)
+        except BaseException:
+            # Owned keys that never settled must not strand waiters in
+            # other threads: publish the failure so they recompute.
+            for key in unsettled:
+                self._resolve(key, None, failed=True)
+            raise
+
+        for key, (indices, entry) in awaited.items():
+            entry.event.wait()
+            if entry.failed or entry.record is None:
+                # The owning run died.  Another waiter may already have
+                # recovered and cached the record — re-check before
+                # recomputing; without a cache each waiter recomputes
+                # (deterministically identical, degraded but correct).
+                record = self.cache.get(key) if self.cache is not None else None
+                if record is not None:
+                    self._count("cache_hits", len(indices))
+                    origin = "cache"
+                else:
+                    with _active_store(self.store):
+                        record = simulate_many([points[indices[0]]])[0]
+                    self._finish(points[indices[0]], record)
+                    origin = "run"
             else:
-                self._run_parallel(points, pending, units, settle)
+                record = entry.record
+                self._count("inflight_hits", len(indices))
+                origin = "inflight"
+            for i in indices:
+                records[i] = record
+                done += 1
+                self._emit(done, len(points), points[i], origin)
         return records  # type: ignore[return-value]
 
     def _run_parallel(
@@ -954,12 +1126,22 @@ class SweepEngine:
         # until the representative has stored the unit's artifacts.
         # Without a store there is nothing for followers to load, so the
         # barrier would only serialize work — submit everything at once.
+        # With a store, a unit whose representative has no PhiConfig has
+        # no calibration/decomposition to materialise either (its only
+        # shared artifact, the base workload, was just seeded), so its
+        # points skip the barrier too.
         if self.store is None:
             futures = {
                 submit(key): (key, []) for keys in units for key in keys
             }
         else:
-            futures = {submit(keys[0]): (keys[0], keys[1:]) for keys in units}
+            futures = {}
+            for keys in units:
+                if points[pending[keys[0]][0]].phi is None:
+                    for key in keys:
+                        futures[submit(key)] = (key, [])
+                else:
+                    futures[submit(keys[0])] = (keys[0], keys[1:])
         remaining = set(futures)
         try:
             while remaining:
@@ -972,9 +1154,12 @@ class SweepEngine:
                         futures[follow_up] = (follower, [])
                         remaining.add(follow_up)
         except BaseException:
-            # A failed or interrupted sweep must not leave orphaned tasks
-            # running in the pool.
-            self.close()
+            # A failed or interrupted run must not leave its own queued
+            # tasks running — but the pool is shared with concurrent
+            # runs (the service's dispatcher threads), so cancel only
+            # this run's futures, never the whole pool.
+            for future in remaining:
+                future.cancel()
             raise
 
     def _seed_workloads(
@@ -983,9 +1168,12 @@ class SweepEngine:
         """Materialise every pending base workload into the store.
 
         Workload generation (an SNN forward pass) is common to every unit
-        of the same spec; seeding it from the parent before dispatch
-        means no two workers ever race to regenerate it.
+        of the same spec; seeding every missing spec before dispatch
+        means no two dispatch waves ever race to regenerate one.  The
+        generation itself runs as pool tasks, so distinct workloads
+        materialise concurrently instead of serially on this thread.
         """
+        missing: list[WorkloadSpec] = []
         seen: set[WorkloadSpec] = set()
         for indices in pending.values():
             spec = _base_spec(points[indices[0]].workload)
@@ -994,10 +1182,15 @@ class SweepEngine:
             seen.add(spec)
             key = self.store.key(KIND_WORKLOAD, _artifact_payload(spec, None))
             if not self.store.contains(key):
-                self.store.put(KIND_WORKLOAD, key, _base_workload(spec))
+                missing.append(spec)
+        if not missing:
+            return
+        pool = self._ensure_pool()
+        for future in [pool.submit(_seed_workload, spec) for spec in missing]:
+            future.result()
 
     def _finish(self, point: SweepPoint, record: dict) -> None:
-        self.stats.executed += 1
+        self._count("executed")
         if self.cache is not None:
             self.cache.put(point.cache_key(), record)
 

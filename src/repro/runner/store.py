@@ -24,11 +24,12 @@ regression suite and the report manifest check pin this.
 
 from __future__ import annotations
 
-import io
 import json
 import os
 import pathlib
 import tempfile
+import threading
+import warnings
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -202,6 +203,23 @@ _CODECS: dict[str, tuple[Callable, Callable]] = {
 }
 
 
+def _artifact_nbytes(artifact: Any) -> int:
+    """Estimated array payload of a memoised artifact, in bytes."""
+    if isinstance(artifact, ModelWorkload):
+        return sum(
+            layer.activations.nbytes + layer.weights.nbytes for layer in artifact
+        )
+    if isinstance(artifact, ModelCalibration):
+        return sum(
+            pattern_set.matrix.nbytes
+            for name in artifact.layer_names()
+            for pattern_set in artifact[name].pattern_sets
+        )
+    if isinstance(artifact, DecompositionArtifact):
+        return sum(matrix.nbytes for matrix in artifact.assignments.values())
+    return 0
+
+
 # --------------------------------------------------------------------- #
 # The store
 # --------------------------------------------------------------------- #
@@ -219,27 +237,49 @@ class ArtifactStore:
     Loaded and stored artifacts are additionally memoised in-process (one
     dict per store instance, keyed by content hash), so repeated ``get``
     calls within a worker never re-read or re-decode the file.  The memo
-    is bounded (FIFO eviction beyond ``memo_entries``) and decomposition
-    entries are memoised in their slim assignment-only form, so a
-    long-lived worker cannot accumulate unbounded artifact memory.  The
-    memo holds the decoded objects themselves; callers must treat them as
-    read-only, which every consumer of workloads and calibrations already
-    does.
+    is bounded twice over — by entry count (``memo_entries``) and by
+    estimated array bytes (``memo_budget_bytes``, which matters for
+    long-lived services whose workload artifacts can each hold tens of
+    MB of activations) — with FIFO eviction, and decomposition entries
+    are memoised in their slim assignment-only form.  The memo holds the
+    decoded objects themselves; callers must treat them as read-only,
+    which every consumer of workloads and calibrations already does.
     """
 
     #: Maximum number of memoised artifacts per store instance.
     memo_entries = 128
 
+    #: Approximate cap on the memo's total array payload, in bytes.
+    memo_budget_bytes = 512 * 1024 * 1024
+
     def __init__(self, root: pathlib.Path | str | None = None) -> None:
         self.root = pathlib.Path(root) if root is not None else default_store_dir()
         self._memo: dict[str, Any] = {}
+        self._memo_bytes = 0
+        # One store instance is shared by every dispatcher thread of the
+        # job service; the lock keeps membership checks and the FIFO
+        # eviction scan coherent under that concurrency.
+        self._memo_lock = threading.Lock()
+        self._warned_unwritable = False
 
     def _memoise(self, key: str, artifact: Any) -> None:
-        memo = self._memo
-        memo.pop(key, None)
-        while len(memo) >= self.memo_entries:
-            memo.pop(next(iter(memo)))
-        memo[key] = artifact
+        size = _artifact_nbytes(artifact)
+        with self._memo_lock:
+            memo = self._memo
+            evicted = memo.pop(key, None)
+            if evicted is not None:
+                self._memo_bytes -= _artifact_nbytes(evicted)
+            while memo and (
+                len(memo) >= self.memo_entries
+                or self._memo_bytes + size > self.memo_budget_bytes
+            ):
+                self._memo_bytes -= _artifact_nbytes(memo.pop(next(iter(memo))))
+            memo[key] = artifact
+            self._memo_bytes += size
+
+    def _memoised(self, key: str) -> Any | None:
+        with self._memo_lock:
+            return self._memo.get(key)
 
     # ------------------------------------------------------------------ #
     def key(self, kind: str, payload: Mapping[str, Any]) -> str:
@@ -274,8 +314,9 @@ class ArtifactStore:
         A corrupt or unreadable file counts as a miss: callers recompute
         and overwrite rather than fail.
         """
-        if key in self._memo:
-            return self._memo[key]
+        memoised = self._memoised(key)
+        if memoised is not None:
+            return memoised
         path = self.path_for(key)
         try:
             with np.load(path) as data:
@@ -292,6 +333,12 @@ class ArtifactStore:
         form, not as the full matrices the producer handed in — the
         rebuild on a later ``get`` is cheap, while the full form would
         pin roughly twice the workload's memory per configuration.
+
+        An unwritable store (read-only directory, full disk, root
+        replaced by a file) degrades to compute-without-persist: the
+        artifact stays memoised in this process, a one-time warning is
+        emitted, and the caller's sweep proceeds — the store is an
+        accelerator, never a correctness dependency.
         """
         arrays = _CODECS[kind][0](artifact)
         if kind == KIND_DECOMPOSITION:
@@ -299,24 +346,38 @@ class ArtifactStore:
         else:
             self._memoise(key, artifact)
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        buffer = io.BytesIO()
-        np.savez(buffer, **arrays)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=key[:8], suffix=".tmp")
+        tmp_name = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=key[:8], suffix=".tmp"
+            )
             with os.fdopen(fd, "wb") as handle:
-                handle.write(buffer.getvalue())
+                # Stream straight to the temp file: buffering the whole
+                # archive in memory first would double large workloads'
+                # footprint per concurrent put.
+                np.savez(handle, **arrays)
             os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        except BaseException as error:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            if not isinstance(error, OSError):
+                raise
+            if not self._warned_unwritable:
+                self._warned_unwritable = True
+                warnings.warn(
+                    f"artifact store {self.root} is not writable ({error}); "
+                    "continuing without persisting shared artifacts",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def contains(self, key: str) -> bool:
         """Whether an artifact for ``key`` is memoised or on disk."""
-        return key in self._memo or self.path_for(key).exists()
+        return self._memoised(key) is not None or self.path_for(key).exists()
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -326,7 +387,9 @@ class ArtifactStore:
 
     def clear(self) -> int:
         """Delete every stored artifact; returns the number removed."""
-        self._memo.clear()
+        with self._memo_lock:
+            self._memo.clear()
+            self._memo_bytes = 0
         removed = 0
         if not self.root.exists():
             return removed

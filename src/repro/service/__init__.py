@@ -1,0 +1,58 @@
+"""Sweep-as-a-service: a concurrent job service over the artifact store.
+
+``python -m repro.service serve`` turns the one-shot CLI stack into a
+long-lived front-end: one warm :class:`~repro.runner.SweepEngine` (result
+cache + artifact store + worker pool) owned by a single process, serving
+sweep/experiment/report requests from many simultaneous clients over
+HTTP+JSON.  Work is deduplicated at three levels before any simulation
+runs — identical *requests* collapse onto one in-flight job, identical
+*points* collapse inside the re-entrant engine, and previously computed
+points load from the :class:`~repro.runner.ResultCache` (with workloads,
+calibrations and decompositions shared through the
+:class:`~repro.runner.ArtifactStore` below that).
+
+The package is stdlib-only on top of the existing runner layer:
+
+* :mod:`repro.service.jobs` — the job model (submit → queued → running →
+  done/failed) and the dispatcher that executes jobs on the shared engine.
+* :mod:`repro.service.http` — the ``ThreadingHTTPServer`` front-end and
+  its JSON request/response handling.
+* :mod:`repro.service.client` — the thin ``urllib`` client used by
+  ``python -m repro.runner ... --remote URL`` and
+  ``python -m repro.report --remote URL``.
+* :mod:`repro.service.cli` — the ``serve`` entry point with graceful
+  drain/shutdown.
+
+See DESIGN.md ("Service architecture") for the job lifecycle and the
+concurrency guarantees the test suite locks down.
+"""
+
+from .client import ServiceClient, ServiceError
+from .http import ServiceServer, serve
+from .jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobRequest,
+    JobService,
+    RequestError,
+    ServiceUnavailable,
+)
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobRequest",
+    "JobService",
+    "QUEUED",
+    "RUNNING",
+    "RequestError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "serve",
+]

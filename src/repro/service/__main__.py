@@ -1,0 +1,7 @@
+"""``python -m repro.service`` dispatches to the service CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

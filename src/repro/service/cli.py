@@ -1,0 +1,133 @@
+"""Command-line entry point of the sweep service.
+
+Examples
+--------
+Serve the shared engine on port 8731 with 2 simulator workers::
+
+    python -m repro.service serve --port 8731 --jobs 2
+
+Point clients at it::
+
+    python -m repro.runner exp fig7 --scale tiny --remote http://127.0.0.1:8731
+    python -m repro.report --scale tiny --remote http://127.0.0.1:8731
+
+Stop it gracefully (drains queued and running jobs first)::
+
+    python - <<'PY'
+    from repro.service import ServiceClient
+    ServiceClient("http://127.0.0.1:8731").shutdown()
+    PY
+
+``Ctrl-C`` / ``SIGTERM`` drain the same way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from ..runner.cache import ResultCache, default_cache_dir
+from ..runner.engine import SweepEngine
+from ..runner.store import ArtifactStore, default_store_dir
+from .http import serve
+from .jobs import JobService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.service`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve sweeps/experiments from one warm engine over HTTP+JSON.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("serve", help="start the job service")
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8731,
+        help="TCP port; 0 binds an ephemeral port (default: %(default)s)",
+    )
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="simulator worker processes of the shared engine (default: 1)",
+    )
+    p.add_argument(
+        "--dispatchers",
+        type=int,
+        default=2,
+        help="concurrent job dispatcher threads (default: %(default)s)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=default_cache_dir(),
+        help="result cache directory (default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    p.add_argument(
+        "--store-dir",
+        default=default_store_dir(),
+        help="shared artifact store directory (default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the shared workload/calibration store",
+    )
+    p.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress access/progress logs"
+    )
+    p.set_defaults(func=_cmd_serve)
+    return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store = None if args.no_store else ArtifactStore(args.store_dir)
+    engine = SweepEngine(cache=cache, jobs=args.jobs, store=store)
+    # Fork the worker pool while this process is still single-threaded
+    # (JobService and the HTTP server spawn threads next).
+    engine.warm_up()
+    service = JobService(engine, workers=args.dispatchers)
+    server = serve(service, host=args.host, port=args.port, quiet=args.quiet)
+
+    def _drain(signum, frame) -> None:  # pragma: no cover - signal path
+        server.trigger_shutdown()
+
+    signal.signal(signal.SIGTERM, _drain)
+    # The line clients and the bench harness parse to discover the port.
+    print(f"serving on {server.url}", flush=True)
+    if not args.quiet:
+        print(
+            f"engine: jobs={args.jobs}, "
+            f"cache={None if cache is None else cache.root}, "
+            f"store={None if store is None else store.root}; "
+            f"dispatchers={args.dispatchers}",
+            file=sys.stderr,
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        service.drain()
+        server.server_close()
+    print("drained; service stopped", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the selected subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Thin stdlib HTTP client for the sweep service.
+
+Used by ``python -m repro.runner <exp> --remote URL`` and
+``python -m repro.report --remote URL``; also the convenient way to
+drive a service from tests and notebooks::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8731")
+    job = client.run("fig7", scale="tiny")     # submit + wait
+    records = client.records_for(job)          # raw v3 records
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from .jobs import DONE, FAILED
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level or job-level failure reported by the service.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code, or ``None`` for transport-level failures
+        (connection refused, timeout).
+    details:
+        The decoded JSON error body, when the service sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        details: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.details = dict(details or {})
+
+
+class ServiceClient:
+    """A minimal JSON client bound to one service base URL.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running ``python -m repro.service serve``.
+    timeout:
+        Per-request socket timeout in seconds.  Long-polling job waits
+        add their wait window on top.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None,
+        *, timeout: float | None = None,
+    ) -> dict:
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                details = json.loads(body)
+            except ValueError:
+                details = {"error": body}
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {error.code}: "
+                f"{details.get('error', body)}",
+                status=error.code,
+                details=details,
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def experiments(self) -> dict:
+        """``GET /experiments``: registry export + scale tier names."""
+        return self._request("GET", "/experiments")
+
+    def jobs(self) -> list[dict]:
+        """``GET /jobs``: every job the service has accepted."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(
+        self,
+        experiment: str,
+        *,
+        scale: str = "small",
+        overrides: Mapping[str, Any] | None = None,
+    ) -> dict:
+        """``POST /jobs``: submit one request, returning the job view.
+
+        The returned dict carries ``deduplicated=True`` when the service
+        matched an identical in-flight job instead of queueing a new one.
+        """
+        return self._request(
+            "POST",
+            "/jobs",
+            {
+                "experiment": experiment,
+                "scale": scale,
+                "overrides": dict(overrides or {}),
+            },
+        )
+
+    def job(self, job_id: str, *, wait: float | None = None) -> dict:
+        """``GET /jobs/<id>``, optionally long-polling for ``wait`` seconds."""
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+            return self._request("GET", path, timeout=self.timeout + wait)
+        return self._request("GET", path)
+
+    def wait_for(self, job_id: str, *, timeout: float = 600.0, poll: float = 5.0) -> dict:
+        """Block until a job is terminal; returns its final view.
+
+        Raises
+        ------
+        ServiceError
+            When the job finished as ``failed`` (the job's error message
+            is surfaced) or ``timeout`` elapsed first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(f"timed out after {timeout:g}s waiting for {job_id}")
+            view = self.job(job_id, wait=min(poll, remaining))
+            if view["status"] == FAILED:
+                raise ServiceError(
+                    f"job {job_id} failed: {view.get('error', 'unknown error')}",
+                    details=view,
+                )
+            if view["status"] == DONE:
+                return view
+
+    def run(
+        self,
+        experiment: str,
+        *,
+        scale: str = "small",
+        overrides: Mapping[str, Any] | None = None,
+        timeout: float = 600.0,
+    ) -> dict:
+        """Submit a request and wait for its terminal job view."""
+        job = self.submit(experiment, scale=scale, overrides=overrides)
+        if job["status"] == DONE:
+            return job
+        return self.wait_for(job["id"], timeout=timeout)
+
+    def record(self, key: str) -> dict:
+        """``GET /records/<key>``: one validated raw v3 sweep record."""
+        return self._request("GET", f"/records/{key}")["record"]
+
+    def records(self, keys: list[str]) -> dict[str, dict]:
+        """``POST /records``: fetch many records in one round trip."""
+        if not keys:
+            return {}
+        return self._request("POST", "/records", {"keys": list(keys)})["records"]
+
+    def records_for(self, job: Mapping[str, Any]) -> dict[str, dict]:
+        """Fetch every sweep record a finished job touched, keyed by hash."""
+        return self.records(list(job.get("record_keys", ())))
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown``: ask the service to drain and stop."""
+        return self._request("POST", "/shutdown", {})

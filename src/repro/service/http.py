@@ -1,0 +1,312 @@
+"""HTTP+JSON front-end of the sweep service.
+
+A thin, stdlib-only layer over :class:`~repro.service.jobs.JobService`:
+``ThreadingHTTPServer`` gives one thread per connection, the handler
+parses/validates JSON and the job layer does everything else.  Every
+response is materialised as one ``bytes`` body and sent with an exact
+``Content-Length`` in a single write, so a client can never observe a
+torn (partially written) JSON document — the concurrency suite asserts
+this under load.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness + job counts + engine configuration.
+``GET /experiments``
+    The experiment registry (:func:`repro.experiments.registry.registry_json`)
+    and the named scale tiers.
+``POST /jobs``
+    Submit ``{"experiment": ..., "scale": ..., "overrides": {...}}``;
+    ``201`` with the job view, or ``200`` when deduplicated onto an
+    in-flight job.  Unknown fields, experiments or scales are ``400``.
+``GET /jobs`` / ``GET /jobs/<id>[?wait=seconds]``
+    List jobs / poll one job (optionally long-polling until it is
+    terminal or the wait window elapses).  Running jobs stream progress
+    counts; finished jobs carry the payload and their record keys.
+``GET /records/<key>`` / ``POST /records`` (``{"keys": [...]}``)
+    The raw v3 sweep record behind a cache key — singly, or batched in
+    one round trip; ``404`` on miss and ``502`` when a cached record
+    fails schema validation (the service refuses to serve invalid
+    records).
+``POST /shutdown``
+    Acknowledge, then drain gracefully and stop the server.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .. import __version__
+from ..experiments.registry import SCALES, registry_json
+from .jobs import JobRequest, JobService, RequestError, ServiceUnavailable
+
+#: Longest server-side long-poll window per ``GET /jobs/<id>`` request.
+MAX_WAIT_SECONDS = 30.0
+
+#: Largest request body the service will read (requests are small JSON).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one :class:`JobService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: JobService, *, quiet: bool = True) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+        self._shutdown_thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``--port 0``)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The service base URL for clients on this host."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def trigger_shutdown(self) -> None:
+        """Drain the job service, then stop ``serve_forever`` (async).
+
+        Runs in a background thread because it is called from a request
+        handler, and ``shutdown()`` would deadlock the handler's own
+        ``serve_forever`` loop.
+        """
+        if self._shutdown_thread is not None:
+            return
+
+        def _drain_and_stop() -> None:
+            self.service.drain()
+            self.shutdown()
+
+        self._shutdown_thread = threading.Thread(
+            target=_drain_and_stop, name="service-shutdown", daemon=True
+        )
+        self._shutdown_thread.start()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table + JSON plumbing; all state lives on the server."""
+
+    server_version = f"phi-repro-service/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def service(self) -> JobService:
+        """The job service this server fronts."""
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Access log → stderr unless the server was started quiet."""
+        if not self.server.quiet:  # type: ignore[attr-defined]
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+    def _send(self, status: int, body: dict) -> None:
+        """One complete JSON response: status, exact length, single body."""
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _error(self, status: int, message: str, **extra) -> None:
+        self._send(status, {"error": message, **extra})
+
+    def _body_length(self) -> int:
+        """The request body length, from an untrusted Content-Length.
+
+        Raises
+        ------
+        RequestError
+            On a non-numeric, negative or oversized value — a hostile
+            header must produce a 400, never a blocked ``read(-1)`` or
+            an unhandled ``ValueError`` in the handler thread.
+        """
+        raw = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw)
+        except ValueError:
+            raise RequestError(f"invalid Content-Length header {raw!r}")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise RequestError(f"Content-Length {length} out of range")
+        return length
+
+    def _read_json(self):
+        length = self._body_length()
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise RequestError("empty request body; expected a JSON object")
+        try:
+            return json.loads(raw)
+        except ValueError as error:
+            raise RequestError(f"request body is not valid JSON: {error}")
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch GET endpoints."""
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["healthz"]:
+            return self._get_healthz()
+        if parts == ["experiments"]:
+            return self._send(
+                200, {"experiments": registry_json(), "scales": sorted(SCALES)}
+            )
+        if parts == ["jobs"]:
+            return self._send(
+                200, {"jobs": [job.summary() for job in self.service.jobs()]}
+            )
+        if len(parts) == 2 and parts[0] == "jobs":
+            return self._get_job(parts[1], parse_qs(url.query))
+        if len(parts) == 2 and parts[0] == "records":
+            return self._get_record(parts[1])
+        self._error(404, f"unknown path {url.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch POST endpoints."""
+        parts = [part for part in urlparse(self.path).path.split("/") if part]
+        if parts == ["jobs"]:
+            return self._post_job()
+        if parts == ["records"]:
+            return self._post_records()
+        if parts == ["shutdown"]:
+            self._drain_body()
+            self._send(200, {"status": "draining"})
+            self.server.trigger_shutdown()  # type: ignore[attr-defined]
+            return
+        # Unconsumed body bytes would desync a keep-alive connection:
+        # the next request on the socket would be parsed mid-body.
+        self._drain_body()
+        self._error(404, f"unknown path {self.path!r}")
+
+    def _drain_body(self) -> None:
+        try:
+            self.rfile.read(self._body_length())
+        except RequestError:
+            pass  # garbage header: nothing sane to drain
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _get_healthz(self) -> None:
+        engine = self.service.engine
+        self._send(
+            200,
+            {
+                "status": "draining" if self.service.draining else "ok",
+                "version": __version__,
+                "jobs": self.service.counts(),
+                "engine": {
+                    "jobs": engine.jobs,
+                    # `is not None`: an *empty* cache/store is falsy (len 0)
+                    # but still very much configured.
+                    "cache": None if engine.cache is None else str(engine.cache.root),
+                    "store": None if engine.store is None else str(engine.store.root),
+                },
+            },
+        )
+
+    def _post_job(self) -> None:
+        try:
+            request = JobRequest.from_payload(self._read_json())
+        except RequestError as error:
+            return self._error(400, str(error))
+        try:
+            job, deduplicated = self.service.submit(request)
+        except ServiceUnavailable as error:
+            return self._error(503, str(error))
+        body = job.snapshot()
+        body["deduplicated"] = deduplicated
+        self._send(200 if deduplicated else 201, body)
+
+    def _get_job(self, job_id: str, query: dict) -> None:
+        job = self.service.get(job_id)
+        if job is None:
+            return self._error(404, f"unknown job {job_id!r}")
+        wait = query.get("wait")
+        if wait:
+            try:
+                window = min(float(wait[0]), MAX_WAIT_SECONDS)
+            except ValueError:
+                return self._error(400, f"invalid wait value {wait[0]!r}")
+            job.wait(max(window, 0.0))
+        self._send(200, job.snapshot())
+
+    def _post_records(self) -> None:
+        """Batch record fetch: ``{"keys": [...]}`` → one round trip.
+
+        A finished job can list hundreds of record keys; fetching them
+        one ``GET /records/<key>`` at a time would make retrieval
+        O(points) network round trips.  Missing keys are a 404 (listing
+        them), validation failures a 502 (with per-key problems) — the
+        same refusal contract as the single-record endpoint.
+        """
+        try:
+            body = self._read_json()
+        except RequestError as error:
+            return self._error(400, str(error))
+        keys = body.get("keys") if isinstance(body, dict) else None
+        if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+            return self._error(400, "body must be {'keys': [<record key>, ...]}")
+        records: dict[str, dict] = {}
+        missing: list[str] = []
+        invalid: dict[str, list[str]] = {}
+        for key in keys:
+            record, problems = self.service.record(key)
+            if problems:
+                invalid[key] = problems
+            elif record is None:
+                missing.append(key)
+            else:
+                records[key] = record
+        if invalid:
+            return self._error(
+                502, "cached records fail v3 schema validation", problems=invalid
+            )
+        if missing:
+            return self._error(404, "no cached record for some keys", missing=missing)
+        self._send(200, {"records": records})
+
+    def _get_record(self, key: str) -> None:
+        record, problems = self.service.record(key)
+        if problems:
+            return self._error(
+                502,
+                f"cached record {key} fails v3 schema validation",
+                problems=problems,
+            )
+        if record is None:
+            return self._error(404, f"no cached record for key {key!r}")
+        self._send(200, {"key": key, "record": record})
+
+
+def serve(
+    service: JobService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Bind a :class:`ServiceServer` for ``service`` (without serving yet).
+
+    Callers run ``server.serve_forever()`` (the CLI does) or drive it
+    from a background thread (the tests do); ``port=0`` binds an
+    ephemeral port, reported by :attr:`ServiceServer.port`.
+    """
+    return ServiceServer((host, port), service, quiet=quiet)

@@ -1,0 +1,458 @@
+"""The job model and dispatcher of the sweep service.
+
+A *job* is one validated client request — ``(experiment, scale,
+overrides)`` against the experiment registry — moving through the
+lifecycle ``queued → running → done | failed``.  The
+:class:`JobService` owns a queue of jobs and a small pool of dispatcher
+threads that execute them against one shared, warm
+:class:`~repro.runner.SweepEngine`; the engine's re-entrant ``run()``
+(see :func:`repro.runner.engine.progress_scope` and the in-flight table)
+is what lets concurrent jobs overlap safely without ever simulating the
+same point twice.
+
+Deduplication levels, from cheapest to deepest:
+
+1. **In-flight jobs** — a request identical to a queued/running job
+   returns that job instead of creating a new one.
+2. **Engine in-flight points** — overlapping *different* jobs that share
+   sweep points wait on each other's simulations.
+3. **ResultCache** — previously computed points load as records.
+4. **ArtifactStore** — even a cache miss reuses the stored workload /
+   calibration / decomposition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import queue
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..experiments.registry import SCALES, get_experiment
+from ..runner.cache import cache_key
+from ..runner.engine import SweepEngine, SweepPoint, progress_scope, validate_record
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: The exact top-level fields a job request may carry; anything else is
+#: rejected with :class:`RequestError` before it can reach a dispatcher.
+REQUEST_FIELDS = ("experiment", "scale", "overrides")
+
+#: A record cache key is exactly a lowercase SHA-256 hex digest.  The
+#: format gate is what keeps client-supplied keys from reaching
+#: ``ResultCache.path_for`` as path-traversal fragments.
+_RECORD_KEY = re.compile(r"[0-9a-f]{64}")
+
+
+class RequestError(ValueError):
+    """A malformed or unknown client request (maps to HTTP 4xx)."""
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service is draining and no longer accepts jobs (HTTP 503)."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated ``POST /jobs`` body.
+
+    Parameters
+    ----------
+    experiment:
+        A registered experiment name (see
+        :func:`repro.experiments.registry.experiment_names`).
+    scale:
+        A named scale tier (``tiny``/``small``/``paper``).
+    overrides:
+        Extra keyword arguments for the harness, overriding the tier
+        presets — exactly what :meth:`ExperimentSpec.run` accepts.
+    """
+
+    experiment: str
+    scale: str = "small"
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobRequest":
+        """Validate an untrusted JSON body into a request.
+
+        Raises
+        ------
+        RequestError
+            On anything that is not a JSON object with exactly the known
+            fields, a registered experiment, a named scale and a string
+            -keyed JSON-serialisable overrides mapping.  Validation runs
+            on the HTTP thread, so a bad request can never crash a
+            dispatcher worker.
+        """
+        if not isinstance(payload, Mapping):
+            raise RequestError(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - set(REQUEST_FIELDS)
+        if unknown:
+            raise RequestError(
+                f"unknown request fields {sorted(unknown)}; "
+                f"expected only {list(REQUEST_FIELDS)}"
+            )
+        experiment = payload.get("experiment")
+        if not isinstance(experiment, str):
+            raise RequestError("request needs an 'experiment' name (string)")
+        try:
+            get_experiment(experiment)
+        except KeyError as error:
+            raise RequestError(str(error.args[0])) from None
+        scale = payload.get("scale", "small")
+        if not isinstance(scale, str) or scale not in SCALES:
+            raise RequestError(
+                f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+            )
+        overrides = payload.get("overrides", {})
+        if not isinstance(overrides, Mapping) or not all(
+            isinstance(key, str) for key in overrides
+        ):
+            raise RequestError("'overrides' must be an object with string keys")
+        try:
+            json.dumps(dict(overrides))
+        except (TypeError, ValueError) as error:
+            raise RequestError(f"'overrides' must be JSON-serialisable: {error}")
+        return cls(experiment=experiment, scale=scale, overrides=dict(overrides))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The request as a plain JSON object (inverse of ``from_payload``)."""
+        return {
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "overrides": dict(self.overrides),
+        }
+
+    @property
+    def key(self) -> str:
+        """Canonical dedup identity: the hash of the normalised body."""
+        return cache_key(self.to_dict())
+
+
+class Job:
+    """One request moving through ``queued → running → done | failed``.
+
+    All mutation happens on the dispatcher thread that executes the job;
+    readers (HTTP threads) take :meth:`snapshot`, which locks just long
+    enough to copy a consistent view — that is what keeps concurrent
+    ``GET /jobs/<id>`` responses coherent while progress streams in.
+    """
+
+    def __init__(self, job_id: str, request: JobRequest) -> None:
+        self.id = job_id
+        self.request = request
+        self.status = QUEUED
+        self.error: str | None = None
+        self.payload: dict | None = None
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self._record_keys: set[str] = set()
+        self._progress = {
+            "points": 0,
+            "cache_hits": 0,
+            "executed": 0,
+            "inflight_hits": 0,
+            "current_done": 0,
+            "current_total": 0,
+        }
+        self._lock = threading.Lock()
+        self._done_event = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state (done or failed)."""
+        return self._done_event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; returns whether it is."""
+        return self._done_event.wait(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher-side transitions
+    # ------------------------------------------------------------------ #
+    def mark_running(self) -> None:
+        """Transition ``queued → running`` (dispatcher thread only)."""
+        with self._lock:
+            self.status = RUNNING
+            self.started = time.time()
+
+    def mark_done(self, payload: dict) -> None:
+        """Transition ``running → done`` with the result payload."""
+        with self._lock:
+            self.payload = payload
+            self.status = DONE
+            self.finished = time.time()
+        self._done_event.set()
+
+    def mark_failed(self, error: str) -> None:
+        """Transition ``running → failed`` with a human-readable error."""
+        with self._lock:
+            self.error = error
+            self.status = FAILED
+            self.finished = time.time()
+        self._done_event.set()
+
+    def on_progress(self, done: int, total: int, point: SweepPoint, origin: str) -> None:
+        """Engine progress hook: accumulate streaming per-point counts."""
+        key = point.cache_key()
+        with self._lock:
+            progress = self._progress
+            progress["points"] += 1
+            counter = {
+                "cache": "cache_hits",
+                "run": "executed",
+                "inflight": "inflight_hits",
+            }.get(origin)
+            if counter is not None:
+                progress[counter] += 1
+            progress["current_done"] = done
+            progress["current_total"] = total
+            self._record_keys.add(key)
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, Any]:
+        """A cheap listing view: identity, status and progress counts only.
+
+        ``GET /jobs`` serves this for every retained job; the full
+        :meth:`snapshot` — record keys and result payload included —
+        stays on ``GET /jobs/<id>``, so the listing endpoint does not
+        scale its response with the number of sweep points per job.
+        """
+        with self._lock:
+            return {
+                "id": self.id,
+                "status": self.status,
+                "request": self.request.to_dict(),
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "progress": dict(self._progress),
+                "error": self.error,
+            }
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent JSON view of the job for ``GET /jobs/<id>``.
+
+        Includes the live progress counters while running; the payload
+        and the sorted sweep-record cache keys appear once the job is
+        done, so clients can fetch every raw v3 record the job touched
+        via ``GET /records/<key>``.
+        """
+        with self._lock:
+            view: dict[str, Any] = {
+                "id": self.id,
+                "status": self.status,
+                "request": self.request.to_dict(),
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "progress": dict(self._progress),
+                "record_keys": sorted(self._record_keys),
+            }
+            if self.error is not None:
+                view["error"] = self.error
+            if self.payload is not None:
+                view["payload"] = self.payload
+        return view
+
+
+class JobService:
+    """Queue + dispatcher pool executing jobs on one shared engine.
+
+    Parameters
+    ----------
+    engine:
+        The long-lived :class:`~repro.runner.SweepEngine` every job runs
+        on.  The service owns it: :meth:`drain` closes it.
+    workers:
+        Dispatcher threads.  More than one lets independent jobs overlap
+        (the engine's in-flight table keeps shared points exactly-once);
+        ``1`` serialises job execution entirely.
+    max_finished:
+        Terminal (done/failed) jobs retained for polling.  A long-lived
+        service accepts unboundedly many requests; beyond this many
+        finished jobs the oldest are evicted — their ``GET /jobs/<id>``
+        turns 404, but their *results* stay served by the record cache.
+        Queued and running jobs are never evicted.
+    """
+
+    def __init__(
+        self, engine: SweepEngine, *, workers: int = 2, max_finished: int = 256
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_finished < 1:
+            raise ValueError("max_finished must be >= 1")
+        self.engine = engine
+        self.workers = workers
+        self.max_finished = max_finished
+        self._jobs: dict[str, Job] = {}
+        self._active: dict[str, Job] = {}
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._draining = False
+        self._drained = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"job-dispatcher-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission and lookup
+    # ------------------------------------------------------------------ #
+    def submit(self, request: JobRequest) -> tuple[Job, bool]:
+        """Enqueue a request, deduplicating against in-flight jobs.
+
+        Returns
+        -------
+        tuple of (Job, bool)
+            The job serving this request and whether it was deduplicated
+            (``True`` means an identical queued/running job already
+            existed and was returned instead of a new one).
+
+        Raises
+        ------
+        ServiceUnavailable
+            When the service is draining.
+        """
+        with self._lock:
+            if self._draining:
+                raise ServiceUnavailable("service is draining; no new jobs accepted")
+            existing = self._active.get(request.key)
+            if existing is not None:
+                return existing, True
+            job = Job(f"job-{next(self._counter):06d}", request)
+            self._jobs[job.id] = job
+            self._active[request.key] = job
+            # Enqueue under the lock: after a release, drain() could slip
+            # in, push its sentinels and stop the dispatchers — the job
+            # would be accepted but never run.  SimpleQueue.put never
+            # blocks, so holding the lock here is safe.
+            self._queue.put(job)
+        return job, False
+
+    def get(self, job_id: str) -> Job | None:
+        """The job with ``job_id``, or ``None`` when unknown."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every job this service has accepted, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Job counts by status (the ``/healthz`` summary)."""
+        summary = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for job in self.jobs():
+            summary[job.status] = summary.get(job.status, 0) + 1
+        return summary
+
+    def record(self, key: str) -> tuple[dict | None, list[str]]:
+        """A validated v3 sweep record from the engine's result cache.
+
+        Returns
+        -------
+        tuple of (record or None, problems)
+            ``(None, [])`` on a miss (no cache configured, malformed or
+            unknown key); ``(record, [])`` for a valid record; ``(None,
+            problems)`` when the cached record exists but fails
+            :func:`~repro.runner.engine.validate_record` — the service
+            refuses to serve records that do not validate.  Keys that
+            are not plain SHA-256 hex digests are treated as misses
+            without ever touching the filesystem (path-traversal gate).
+        """
+        cache = self.engine.cache
+        if cache is None or not _RECORD_KEY.fullmatch(key):
+            return None, []
+        record = cache.get(key)
+        if record is None:
+            return None, []
+        problems = validate_record(record)
+        if problems:
+            return None, problems
+        return record, []
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        from ..report.emitters import build_payload
+
+        job.mark_running()
+        try:
+            spec = get_experiment(job.request.experiment)
+            with progress_scope(job.on_progress):
+                result = spec.run(
+                    job.request.scale,
+                    engine=self.engine,
+                    **dict(job.request.overrides),
+                )
+            job.mark_done(build_payload(spec, result))
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            job.mark_failed(f"{type(error).__name__}: {error}")
+        finally:
+            with self._lock:
+                if self._active.get(job.request.key) is job:
+                    del self._active[job.request.key]
+                self._evict_finished()
+
+    def _evict_finished(self) -> None:
+        """Drop the oldest terminal jobs beyond ``max_finished`` (lock held)."""
+        finished = [job_id for job_id, job in self._jobs.items() if job.done]
+        for job_id in finished[: max(0, len(finished) - self.max_finished)]:
+            del self._jobs[job_id]
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def drain(self) -> None:
+        """Graceful shutdown: refuse new jobs, finish accepted ones.
+
+        Already-queued and running jobs complete normally (their clients
+        can still poll them afterwards); then the dispatcher threads
+        exit and the engine — including its warm worker pool — closes.
+        Idempotent.
+        """
+        with self._lock:
+            if self._drained:
+                return
+            self._draining = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()
+        self.engine.close()
+        with self._lock:
+            self._drained = True
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has been initiated."""
+        with self._lock:
+            return self._draining

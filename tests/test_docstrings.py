@@ -21,6 +21,7 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 CHECKED_FILES = sorted(
     list((SRC / "runner").glob("*.py"))
     + list((SRC / "report").glob("*.py"))
+    + list((SRC / "service").glob("*.py"))
     + [SRC / "experiments" / "registry.py", SRC / "experiments" / "common.py"]
 )
 

@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 import json
+import subprocess
+import sys
+import threading
+import time
 
 import pytest
 
@@ -260,7 +264,10 @@ class TestRecordSchemaV3:
 
         def fake_simulate(point):
             calls.append(point)
-            return {"schema": engine_module.CACHE_SCHEMA_VERSION, "x": 1}
+            # No "schema" / "accelerator" keys: the stub's record reads
+            # as a non-sweep cache entry, so validate-cache audits only
+            # the v2 record this test actually plants.
+            return {"x": 1}
 
         monkeypatch.setattr(engine_module, "simulate_point", fake_simulate)
         engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
@@ -290,3 +297,183 @@ class TestRecordSchemaV3:
         assert main(["validate-cache", "--cache-dir", str(tmp_path)]) == 0
         captured = capsys.readouterr()
         assert "2 valid v3 records" in captured.out
+
+
+class TestEngineReentrancy:
+    """run() shared by concurrent threads: exactly-once, thread-local hooks."""
+
+    def test_concurrent_runs_simulate_each_point_exactly_once(
+        self, tmp_path, monkeypatch
+    ):
+        calls: list[str] = []
+        lock = threading.Lock()
+
+        def slow_simulate(point):
+            with lock:
+                calls.append(point.cache_key())
+            time.sleep(0.2)  # hold the point in flight so runs overlap
+            return {"schema": 3, "key": point.cache_key()}
+
+        monkeypatch.setattr(engine_module, "simulate_point", slow_simulate)
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        points = [
+            tiny_point(),
+            tiny_point(phi=TINY.phi_config(num_patterns=8)),
+        ]
+        runners = 4
+        barrier = threading.Barrier(runners)
+        results: list[list | None] = [None] * runners
+
+        def run(i: int) -> None:
+            barrier.wait()
+            results[i] = engine.run(points)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(runners)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(calls) == len(points), "a point was simulated more than once"
+        assert all(result == results[0] for result in results)
+        stats = engine.stats
+        assert stats.requested == runners * len(points)
+        assert stats.executed == len(points)
+        assert stats.cache_hits + stats.inflight_hits == (runners - 1) * len(points)
+        assert engine._inflight == {}, "in-flight table must drain"
+
+    def test_failed_owner_does_not_strand_waiters(self, tmp_path, monkeypatch):
+        attempts: list[str] = []
+        lock = threading.Lock()
+        fail_first = threading.Event()
+
+        def flaky_simulate(point):
+            with lock:
+                attempts.append(point.cache_key())
+            time.sleep(0.1)
+            if not fail_first.is_set():
+                fail_first.set()
+                raise RuntimeError("synthetic worker death")
+            return {"schema": 3, "key": point.cache_key()}
+
+        monkeypatch.setattr(engine_module, "simulate_point", flaky_simulate)
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        point = tiny_point()
+        barrier = threading.Barrier(2)
+        outcomes: list[object] = [None, None]
+
+        def run(i: int) -> None:
+            barrier.wait()
+            try:
+                outcomes[i] = engine.run([point])[0]
+            except RuntimeError as error:
+                outcomes[i] = error
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "waiter deadlocked on a dead owner"
+
+        errors = [o for o in outcomes if isinstance(o, RuntimeError)]
+        records = [o for o in outcomes if isinstance(o, dict)]
+        assert len(errors) == 1 and len(records) == 1, outcomes
+        assert records[0]["key"] == point.cache_key()
+        assert engine._inflight == {}
+
+    def test_progress_scope_hooks_are_thread_local(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            engine_module,
+            "simulate_point",
+            lambda point: {"schema": 3, "key": point.cache_key()},
+        )
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        grids = {
+            "a": [tiny_point()],
+            "b": [
+                tiny_point(phi=TINY.phi_config(num_patterns=8)),
+                tiny_point(phi=TINY.phi_config(num_patterns=4)),
+            ],
+        }
+        seen: dict[str, list] = {"a": [], "b": []}
+        barrier = threading.Barrier(2)
+
+        def run(name: str) -> None:
+            hook = lambda done, total, point, origin: seen[name].append(
+                (done, total, origin)
+            )
+            barrier.wait()
+            with engine_module.progress_scope(hook):
+                engine.run(grids[name])
+
+        threads = [
+            threading.Thread(target=run, args=(name,)) for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert [event[:2] for event in seen["a"]] == [(1, 1)]
+        assert [event[:2] for event in sorted(seen["b"])] == [(1, 2), (2, 2)]
+        assert getattr(engine_module._PROGRESS, "hook", None) is None
+
+
+class TestValidateCacheSubprocess:
+    """The CLI contract: non-zero exit whenever any record fails validation.
+
+    Regression for two silent-pass holes: a v3 record that lost its
+    ``accelerator`` key used to be skipped as a report-section payload,
+    and corrupt JSON files were not reported at all.  Asserted through a
+    real ``python -m repro.runner`` subprocess, exit code included.
+    """
+
+    def _validate(self, cache_dir):
+        return subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.runner",
+                "validate-cache",
+                "--cache-dir",
+                str(cache_dir),
+            ],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_record_missing_required_keys_exits_nonzero(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(
+            "ab" * 32,
+            {"schema": engine_module.CACHE_SCHEMA_VERSION, "accelerator": "phi"},
+        )
+        completed = self._validate(tmp_path)
+        assert completed.returncode == 1
+        assert "INVALID" in completed.stderr
+
+    def test_record_missing_accelerator_key_exits_nonzero(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(
+            "cd" * 32,
+            {"schema": engine_module.CACHE_SCHEMA_VERSION, "model": "vgg16"},
+        )
+        completed = self._validate(tmp_path)
+        assert completed.returncode == 1
+        assert "missing key 'accelerator'" in completed.stderr
+
+    def test_corrupt_record_file_exits_nonzero(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ef" * 32, {"schema": engine_module.CACHE_SCHEMA_VERSION})
+        cache.path_for("ef" * 32).write_text('{"schema": 3, "torn":')
+        completed = self._validate(tmp_path)
+        assert completed.returncode == 1
+        assert "unreadable or corrupt JSON" in completed.stderr
+
+    def test_valid_real_records_exit_zero(self, tmp_path):
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        engine.run_one(tiny_point())
+        completed = self._validate(tmp_path)
+        assert completed.returncode == 0, completed.stderr
+        assert "1 valid v3 records" in completed.stdout

@@ -344,3 +344,125 @@ class TestBenchTrajectory:
         slow = BenchResult(**{**entries[0], "wall_seconds": 2.5})
         failures = check_against_baseline([slow], baseline)
         assert len(failures) == 1 and "serial_cold" in failures[0]
+
+
+class TestStoreFailurePaths:
+    """PR-4 failure semantics made explicit: the store is an accelerator,
+    never a correctness dependency — corruption, clears and unwritable
+    directories all degrade to recompute, never to a crash."""
+
+    def test_corrupt_artifact_is_a_miss_under_a_concurrent_writer(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        workload = tiny_workload()
+        key = store.key(KIND_WORKLOAD, {"corrupt-race": True})
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"definitely not an npz")
+
+        outcomes: list[str] = []
+
+        def read(i: int) -> None:
+            loaded = ArtifactStore(tmp_path).get(KIND_WORKLOAD, key)
+            if loaded is None:
+                outcomes.append("miss")
+            else:
+                np.testing.assert_array_equal(
+                    loaded[0].activations, workload[0].activations
+                )
+                outcomes.append("hit")
+
+        def write(i: int) -> None:
+            ArtifactStore(tmp_path).put(KIND_WORKLOAD, key, workload)
+            outcomes.append("write")
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda i: write(i) if i % 4 == 0 else read(i), range(24)))
+
+        # Every read was a clean miss or a bit-exact hit — never an
+        # exception, never torn bytes — and the writer eventually heals
+        # the entry.
+        assert set(outcomes) <= {"miss", "hit", "write"}
+        healed = ArtifactStore(tmp_path).get(KIND_WORKLOAD, key)
+        np.testing.assert_array_equal(
+            healed[0].activations, workload[0].activations
+        )
+
+    def test_store_clear_under_a_live_engine_recomputes_and_repopulates(
+        self, tmp_path
+    ):
+        """`python -m repro.runner store --clear` while a service holds the
+        store open: in-flight engines keep working and later runs
+        repopulate the directory."""
+        import subprocess
+        import sys
+
+        store = ArtifactStore(tmp_path / "store")
+        points = tiny_points(2)
+        engine = SweepEngine(cache=ResultCache(tmp_path / "cache-a"), store=store)
+        first = engine.run(points)
+        assert len(store) > 0
+
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.runner",
+                "store",
+                "--clear",
+                "--store-dir",
+                str(store.root),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert len(ArtifactStore(store.root)) == 0
+
+        # The same (still-open) engine serves a fresh cache dir without
+        # error: its in-process memo still holds the artifacts, so the
+        # clear never disturbs in-flight work.
+        engine.cache = ResultCache(tmp_path / "cache-b")
+        second = engine.run(points)
+        assert json.loads(json.dumps(second)) == json.loads(json.dumps(first))
+
+        # A *fresh* engine (new store instance, empty memo) recomputes
+        # and repopulates the cleared directory with identical results.
+        fresh = SweepEngine(
+            cache=ResultCache(tmp_path / "cache-c"), store=ArtifactStore(store.root)
+        )
+        third = fresh.run(points)
+        assert json.loads(json.dumps(third)) == json.loads(json.dumps(first))
+        assert len(ArtifactStore(store.root)) > 0
+
+    def test_unwritable_store_degrades_to_compute_without_persist(self, tmp_path):
+        # The store root's parent is a regular *file*, so every mkdir /
+        # write fails with OSError regardless of uid (chmod-based
+        # read-only checks are vacuous when the suite runs as root).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        store = ArtifactStore(blocker / "store")
+        engine = SweepEngine(cache=ResultCache(tmp_path / "cache"), store=store)
+
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            records = engine.run(tiny_points(2))
+
+        assert all(r["schema"] == 3 for r in records)
+        assert len(store) == 0, "nothing can persist below a file"
+        # The records match a store-less engine bit for bit.
+        bare = SweepEngine().run(tiny_points(2))
+        assert json.loads(json.dumps(records)) == json.loads(json.dumps(bare))
+
+    def test_put_failure_still_memoises_for_this_process(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        workload = tiny_workload()
+        key = store.key(KIND_WORKLOAD, {"memo-only": True})
+        monkeypatch.setattr(
+            "repro.runner.store.os.replace",
+            lambda *args: (_ for _ in ()).throw(PermissionError("read-only")),
+        )
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            store.put(KIND_WORKLOAD, key, workload)
+        # Same instance: served from the memo.  Fresh instance: a miss.
+        assert store.get(KIND_WORKLOAD, key) is workload
+        assert ArtifactStore(tmp_path).get(KIND_WORKLOAD, key) is None
+        assert not list(tmp_path.rglob("*.tmp")), "failed put must clean up"
