@@ -216,10 +216,16 @@ def _run_service_scenario(
     then measures submit → wait → fetch-all-records from this process.
     Server boot time is excluded on purpose: the service is long-lived,
     the per-request path is what the trajectory tracks.
+
+    The server runs with the production-hardening surface *enabled*
+    (bearer-token auth + JSONL audit log), so the measured round trip —
+    and the CI gate on it — includes the per-request cost of auth
+    checking and audit writes, not an artificially bare server.
     """
     from .. import __version__
     from ..service.client import ServiceClient
 
+    token = "bench-service-token"
     command = [
         sys.executable,
         "-m",
@@ -231,6 +237,10 @@ def _run_service_scenario(
         str(cache_dir),
         "--store-dir",
         str(store_dir),
+        "--auth-token",
+        token,
+        "--audit-log",
+        str(cache_dir / "bench-audit.jsonl"),
         "--quiet",
     ]
     process = subprocess.Popen(
@@ -254,7 +264,7 @@ def _run_service_scenario(
             process.kill()
             tail = line + (process.stdout.read() or "")
             raise RuntimeError(f"service failed to start ({' '.join(command)}):\n{tail}")
-        client = ServiceClient(line.split()[-1])
+        client = ServiceClient(line.split()[-1], token=token)
         start = time.perf_counter()
         job = client.run(experiment, scale=scale, timeout=600.0)
         client.records_for(job)

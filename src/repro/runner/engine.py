@@ -28,6 +28,7 @@ from __future__ import annotations
 import contextlib
 import sys
 import threading
+import warnings
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
@@ -882,6 +883,7 @@ class SweepEngine:
         self.progress = progress
         self.store = store
         self.stats = SweepStats()
+        self._warned_cache_unwritable = False
         self._pool: ProcessPoolExecutor | None = None
         # run() is re-entrant across threads (the job service dispatches
         # concurrent jobs onto one engine): the lock guards stats, pool
@@ -1192,7 +1194,23 @@ class SweepEngine:
     def _finish(self, point: SweepPoint, record: dict) -> None:
         self._count("executed")
         if self.cache is not None:
-            self.cache.put(point.cache_key(), record)
+            try:
+                self.cache.put(point.cache_key(), record)
+            except OSError as error:
+                # A full or unwritable cache (ENOSPC, revoked perms) must
+                # not fail a sweep whose record is already computed: the
+                # cache is an accelerator, never a correctness
+                # dependency — the same contract as ArtifactStore.put.
+                # Cache.put is atomic (tmp + os.replace with unlink on
+                # failure), so a failed write leaves no partial record.
+                if not self._warned_cache_unwritable:
+                    self._warned_cache_unwritable = True
+                    warnings.warn(
+                        f"result cache {self.cache.root} is unwritable "
+                        f"({error}); records from this run will not persist",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
     # ------------------------------------------------------------------ #
     def run_one(self, point: SweepPoint) -> dict:

@@ -19,15 +19,29 @@ The package is stdlib-only on top of the existing runner layer:
   its JSON request/response handling.
 * :mod:`repro.service.client` — the thin ``urllib`` client used by
   ``python -m repro.runner ... --remote URL`` and
-  ``python -m repro.report --remote URL``.
+  ``python -m repro.report --remote URL``, with retry/backoff for
+  transient failures and restart-surviving job waits.
 * :mod:`repro.service.cli` — the ``serve`` entry point with graceful
   drain/shutdown.
+* :mod:`repro.service.schemas` — the protocol version embedded in every
+  request/response.
+* :mod:`repro.service.ratelimit` — per-client rolling-window rate
+  limiting (429 + ``Retry-After``).
+* :mod:`repro.service.audit` — the append-only JSONL audit log of every
+  job/record mutation.
 
 See DESIGN.md ("Service architecture") for the job lifecycle and the
 concurrency guarantees the test suite locks down.
 """
 
-from .client import ServiceClient, ServiceError
+from .audit import AuditLog
+from .client import (
+    NO_RETRY,
+    JobNotFound,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
 from .http import ServiceServer, serve
 from .jobs import (
     DONE,
@@ -40,16 +54,24 @@ from .jobs import (
     RequestError,
     ServiceUnavailable,
 )
+from .ratelimit import RateLimiter
+from .schemas import PROTOCOL_VERSION
 
 __all__ = [
     "DONE",
     "FAILED",
+    "NO_RETRY",
+    "PROTOCOL_VERSION",
+    "AuditLog",
     "Job",
+    "JobNotFound",
     "JobRequest",
     "JobService",
     "QUEUED",
     "RUNNING",
+    "RateLimiter",
     "RequestError",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",

@@ -1,0 +1,105 @@
+"""Append-only JSONL audit log of every service mutation.
+
+Before this module, a served repo had no answer to "who submitted the
+job that filled the store?" or "did the service refuse that record, and
+why?".  The audit log records one JSON object per line for every
+job/record mutation the service performs — submissions (including
+dedup hits), state transitions, records served and refused, auth and
+rate-limit refusals, and drain/shutdown — so an operator can replay
+exactly what happened to a long-lived service after the fact.
+
+Properties the fault-injection suite relies on:
+
+* **Append-only JSONL** — one ``json.dumps`` line per event, written
+  under a lock and flushed immediately, so a SIGKILL can lose at most
+  the final partial line and every complete line always parses.
+* **Never a correctness dependency** — an unwritable log (full disk,
+  revoked permissions) degrades to a one-time warning and the service
+  keeps running; auditing is observability, not a gate.
+* **No secrets** — actors are logged as token *digests* or peer
+  addresses (see ``repro.service.http``), never raw tokens.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+import warnings
+from typing import Any, Iterator, TextIO
+
+
+class AuditLog:
+    """A thread-safe append-only JSONL event log.
+
+    Parameters
+    ----------
+    path:
+        The log file; parent directories are created on first write and
+        an existing file is appended to (restarts extend the history,
+        they never truncate it).
+    """
+
+    def __init__(self, path: pathlib.Path | str) -> None:
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+        self._handle: TextIO | None = None
+        self._warned_unwritable = False
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Append one event line: ``{"ts": ..., "event": ..., **fields}``.
+
+        Parameters
+        ----------
+        event:
+            Dotted event name (``job.submitted``, ``record.refused``,
+            ``service.draining``, ...).
+        **fields:
+            JSON-serialisable context for the event.
+        """
+        line = json.dumps({"ts": time.time(), "event": event, **fields})
+        with self._lock:
+            try:
+                if self._handle is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._handle = self.path.open("a", encoding="utf-8")
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except (OSError, ValueError):
+                if not self._warned_unwritable:
+                    self._warned_unwritable = True
+                    warnings.warn(
+                        f"audit log {self.path} is unwritable; "
+                        "events will not be recorded",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def entries(self) -> Iterator[dict]:
+        """Yield every complete event in the log, oldest first.
+
+        A trailing partial line (the SIGKILL case) is skipped rather
+        than raised, matching the durability contract above.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                continue

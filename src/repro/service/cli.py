@@ -24,14 +24,17 @@ Stop it gracefully (drains queued and running jobs first)::
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 
 from ..runner.cache import ResultCache, default_cache_dir
 from ..runner.engine import SweepEngine
 from ..runner.store import ArtifactStore, default_store_dir
-from .http import serve
+from .audit import AuditLog
+from .http import DEFAULT_REQUEST_TIMEOUT, serve
 from .jobs import JobService
+from .ratelimit import RateLimiter
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +84,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the shared workload/calibration store",
     )
     p.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_SERVICE_TOKEN"),
+        help=(
+            "static bearer token required on every endpoint except "
+            "/healthz (default: $REPRO_SERVICE_TOKEN; unset disables auth)"
+        ),
+    )
+    p.add_argument(
+        "--rate-limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "allow at most N requests per client (token-or-peer) per "
+            "rolling --rate-window; 0 disables (default: %(default)s)"
+        ),
+    )
+    p.add_argument(
+        "--rate-window",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="rolling rate-limit window length (default: %(default)s)",
+    )
+    p.add_argument(
+        "--audit-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append-only JSONL audit log of every job/record mutation "
+            "(default: disabled)"
+        ),
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=DEFAULT_REQUEST_TIMEOUT,
+        metavar="SECONDS",
+        help=(
+            "per-connection socket timeout bounding slow clients "
+            "(default: %(default)s)"
+        ),
+    )
+    p.add_argument(
         "--quiet", "-q", action="store_true", help="suppress access/progress logs"
     )
     p.set_defaults(func=_cmd_serve)
@@ -94,8 +141,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Fork the worker pool while this process is still single-threaded
     # (JobService and the HTTP server spawn threads next).
     engine.warm_up()
-    service = JobService(engine, workers=args.dispatchers)
-    server = serve(service, host=args.host, port=args.port, quiet=args.quiet)
+    audit = AuditLog(args.audit_log) if args.audit_log else None
+    limiter = (
+        RateLimiter(args.rate_limit, args.rate_window)
+        if args.rate_limit > 0
+        else None
+    )
+    service = JobService(engine, workers=args.dispatchers, audit=audit)
+    server = serve(
+        service,
+        host=args.host,
+        port=args.port,
+        quiet=args.quiet,
+        auth_token=args.auth_token,
+        rate_limiter=limiter,
+        request_timeout=args.request_timeout,
+    )
 
     def _drain(signum, frame) -> None:  # pragma: no cover - signal path
         server.trigger_shutdown()
@@ -108,19 +169,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"engine: jobs={args.jobs}, "
             f"cache={None if cache is None else cache.root}, "
             f"store={None if store is None else store.root}; "
-            f"dispatchers={args.dispatchers}",
+            f"dispatchers={args.dispatchers}, "
+            f"auth={'on' if args.auth_token else 'off'}, "
+            f"rate_limit={args.rate_limit or 'off'}, "
+            f"audit={args.audit_log or 'off'}",
             file=sys.stderr,
             flush=True,
         )
+    exit_code = 0
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
+    except Exception as error:  # noqa: BLE001 - top-level serve loop
+        # An unexpected crash of the serve loop must not masquerade as a
+        # clean stop: log the cause, still drain (accepted jobs finish,
+        # the drain is acknowledged below), and exit non-zero so
+        # supervisors restart the service.
+        print(
+            f"error: server loop failed: {type(error).__name__}: {error}",
+            file=sys.stderr,
+            flush=True,
+        )
+        exit_code = 1
     finally:
         service.drain()
         server.server_close()
-    print("drained; service stopped", flush=True)
-    return 0
+        if audit is not None:
+            audit.close()
+    print(
+        "drained; service stopped"
+        if exit_code == 0
+        else "drained; service stopped after error",
+        flush=True,
+    )
+    return exit_code
 
 
 def main(argv: list[str] | None = None) -> int:

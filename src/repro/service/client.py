@@ -1,4 +1,4 @@
-"""Thin stdlib HTTP client for the sweep service.
+"""Thin stdlib HTTP client for the sweep service, with retry/backoff.
 
 Used by ``python -m repro.runner <exp> --remote URL`` and
 ``python -m repro.report --remote URL``; also the convenient way to
@@ -9,17 +9,57 @@ drive a service from tests and notebooks::
     client = ServiceClient("http://127.0.0.1:8731")
     job = client.run("fig7", scale="tiny")     # submit + wait
     records = client.records_for(job)          # raw v3 records
+
+Transient-failure behaviour (the production-hardening contract):
+
+* Transport failures (connection refused/reset, timeouts, torn reads)
+  and transient 5xx responses are retried with exponential backoff and
+  jitter (:class:`RetryPolicy`) — always for idempotent ``GET``s, and
+  for ``POST /jobs`` / ``POST /records`` too: job submission is safe to
+  replay because the service deduplicates identical in-flight requests
+  onto one job, and the batch record fetch is a read.
+* A 429 is always retried after honouring the server's ``Retry-After``
+  header (a rate-limited request was never executed).
+* A 503 (service draining) and plain 4xx are never retried — they are
+  deterministic answers, not faults.
+* :meth:`wait_for` survives a server restart: a 404 for a job id it was
+  polling surfaces as :class:`JobNotFound`, and when the original
+  request is known the wait *resubmits* it — landing on the restarted
+  server as a fresh job (deduplicated against any identical in-flight
+  one) instead of long-polling a now-unknown id into a 404 loop.
+
+Authentication: pass ``token=`` or set ``$REPRO_SERVICE_TOKEN``; the
+token is sent as ``Authorization: Bearer <token>`` on every request.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import os
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Mapping
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
 
 from .jobs import DONE, FAILED
+from .schemas import PROTOCOL_VERSION
+
+#: HTTP statuses retried on retryable requests (besides 429, which is
+#: always retried): transient server-side failures.  503 is excluded —
+#: this service only sends it while draining, which retries cannot fix.
+RETRYABLE_STATUSES = frozenset({500, 502, 504})
+
+#: Transport-level exceptions that mark an attempt as retryable.
+TRANSIENT_ERRORS = (
+    urllib.error.URLError,  # wraps most socket-level OSErrors
+    http.client.HTTPException,  # torn reads: IncompleteRead, BadStatusLine
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
 
 
 class ServiceError(RuntimeError):
@@ -46,6 +86,79 @@ class ServiceError(RuntimeError):
         self.details = dict(details or {})
 
 
+class JobNotFound(ServiceError):
+    """``GET /jobs/<id>`` returned 404: the server no longer knows the job.
+
+    Raised instead of a generic :class:`ServiceError` so callers can
+    tell "this job id is gone" (server restarted, or the finished-job
+    retention cap evicted it) apart from real protocol errors — and
+    resubmit the request rather than keep polling a dead id.
+
+    Attributes
+    ----------
+    job_id:
+        The id the server did not recognise.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        *,
+        details: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(
+            f"job {job_id!r} is unknown to the service (it may have "
+            "restarted, or the job was evicted by the retention cap); "
+            "resubmit the request to get a fresh job",
+            status=404,
+            details=details,
+        )
+        self.job_id = job_id
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient request failures.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries per request (first attempt included).  ``1``
+        disables retrying entirely.
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Backoff growth factor per further retry.
+    max_delay:
+        Upper bound on any single sleep.
+    jitter:
+        Uniform jitter fraction: each sleep is scaled by a random
+        factor in ``[1 - jitter, 1 + jitter]`` so synchronised clients
+        do not stampede a recovering server.
+    """
+
+    attempts: int = 6
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 8.0
+    jitter: float = 0.25
+
+    def delay(self, failures: int) -> float:
+        """The sleep before the retry following ``failures`` failures."""
+        raw = min(
+            self.base_delay * self.multiplier ** max(failures - 1, 0),
+            self.max_delay,
+        )
+        if not self.jitter:
+            return raw
+        return raw * (1.0 + random.uniform(-self.jitter, self.jitter))
+
+
+#: A policy that never retries (``attempts=1``): the pre-hardening
+#: behaviour, for callers that want one-shot semantics.
+NO_RETRY = RetryPolicy(attempts=1)
+
+
 class ServiceClient:
     """A minimal JSON client bound to one service base URL.
 
@@ -56,45 +169,100 @@ class ServiceClient:
     timeout:
         Per-request socket timeout in seconds.  Long-polling job waits
         add their wait window on top.
+    token:
+        Static auth token, sent as ``Authorization: Bearer <token>``.
+        Defaults to ``$REPRO_SERVICE_TOKEN`` when set.
+    retry:
+        The :class:`RetryPolicy` for transient failures (pass
+        :data:`NO_RETRY` to restore one-shot behaviour).
+    sleep:
+        Sleep function used between retries; injectable for tests.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        token: str | None = None,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token if token is not None else os.environ.get(
+            "REPRO_SERVICE_TOKEN"
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
 
     # ------------------------------------------------------------------ #
+    def _open(self, request: urllib.request.Request, timeout: float):
+        """Perform one HTTP exchange (seam for fault-injection tests)."""
+        return urllib.request.urlopen(request, timeout=timeout)
+
+    def _attempt(
+        self, method: str, path: str, data: bytes | None, timeout: float
+    ) -> dict:
+        headers = {}
+        if data is not None:
+            headers["Content-Type"] = "application/json"
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method, headers=headers
+        )
+        with self._open(request, timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+
     def _request(
         self, method: str, path: str, payload: Mapping[str, Any] | None = None,
-        *, timeout: float | None = None,
+        *, timeout: float | None = None, retryable: bool | None = None,
     ) -> dict:
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=timeout or self.timeout
-            ) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            body = error.read().decode("utf-8", errors="replace")
+        # `timeout or self.timeout` would silently replace an explicit
+        # falsy timeout (0 / 0.0) with the default; only None means
+        # "use the client default".
+        effective_timeout = self.timeout if timeout is None else timeout
+        if retryable is None:
+            retryable = method == "GET"
+        failures = 0
+        while True:
             try:
-                details = json.loads(body)
-            except ValueError:
-                details = {"error": body}
-            raise ServiceError(
-                f"{method} {path} failed with HTTP {error.code}: "
-                f"{details.get('error', body)}",
-                status=error.code,
-                details=details,
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {error.reason}"
-            ) from None
+                return self._attempt(method, path, data, effective_timeout)
+            except urllib.error.HTTPError as error:
+                retry_after = _retry_after_seconds(error)
+                body = error.read().decode("utf-8", errors="replace")
+                try:
+                    details = json.loads(body)
+                except ValueError:
+                    details = {"error": body}
+                # 429: the request was refused before executing, so it
+                # is always safe to retry — after the server-advised
+                # delay.  Transient 5xx retry only on retryable requests.
+                should_retry = error.code == 429 or (
+                    retryable and error.code in RETRYABLE_STATUSES
+                )
+                failures += 1
+                if not should_retry or failures >= self.retry.attempts:
+                    raise ServiceError(
+                        f"{method} {path} failed with HTTP {error.code}: "
+                        f"{details.get('error', body)}",
+                        status=error.code,
+                        details=details,
+                    ) from None
+                delay = self.retry.delay(failures)
+                if error.code == 429 and retry_after is not None:
+                    delay = max(delay, retry_after)
+                self._sleep(delay)
+            except TRANSIENT_ERRORS as error:
+                reason = getattr(error, "reason", None) or error
+                failures += 1
+                if not retryable or failures >= self.retry.attempts:
+                    raise ServiceError(
+                        f"cannot reach service at {self.base_url}: {reason}"
+                    ) from None
+                self._sleep(self.retry.delay(failures))
 
     # ------------------------------------------------------------------ #
     def health(self) -> dict:
@@ -120,40 +288,98 @@ class ServiceClient:
 
         The returned dict carries ``deduplicated=True`` when the service
         matched an identical in-flight job instead of queueing a new one.
+        That dedup is also what makes this call safe to retry: a
+        submission whose response was lost to a dropped connection lands
+        on the same job when replayed, never on a second simulation.
         """
         return self._request(
             "POST",
             "/jobs",
             {
+                "version": PROTOCOL_VERSION,
                 "experiment": experiment,
                 "scale": scale,
                 "overrides": dict(overrides or {}),
             },
+            retryable=True,
         )
 
     def job(self, job_id: str, *, wait: float | None = None) -> dict:
-        """``GET /jobs/<id>``, optionally long-polling for ``wait`` seconds."""
-        path = f"/jobs/{job_id}"
-        if wait is not None:
-            path += f"?wait={wait:g}"
-            return self._request("GET", path, timeout=self.timeout + wait)
-        return self._request("GET", path)
+        """``GET /jobs/<id>``, optionally long-polling for ``wait`` seconds.
 
-    def wait_for(self, job_id: str, *, timeout: float = 600.0, poll: float = 5.0) -> dict:
+        Raises
+        ------
+        JobNotFound
+            When the service does not know ``job_id`` (restart or
+            retention eviction) — distinct from other errors so callers
+            can resubmit instead of failing.
+        """
+        path = f"/jobs/{job_id}"
+        try:
+            if wait is not None:
+                path += f"?wait={wait:g}"
+                return self._request("GET", path, timeout=self.timeout + wait)
+            return self._request("GET", path)
+        except ServiceError as error:
+            if error.status == 404:
+                raise JobNotFound(job_id, details=error.details) from None
+            raise
+
+    def wait_for(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll: float = 5.0,
+        request: Mapping[str, Any] | None = None,
+    ) -> dict:
         """Block until a job is terminal; returns its final view.
+
+        Parameters
+        ----------
+        job_id:
+            The job to wait on.
+        timeout:
+            Overall deadline in seconds.
+        poll:
+            Long-poll window per ``GET /jobs/<id>`` request.
+        request:
+            The originating request (``experiment`` / ``scale`` /
+            ``overrides``), when known.  With it, a :class:`JobNotFound`
+            mid-wait — the server restarted, or the retention cap
+            evicted the job — is survived by *resubmitting* the request
+            and waiting on the fresh job id, instead of surfacing a 404
+            for work that can still complete.
 
         Raises
         ------
         ServiceError
             When the job finished as ``failed`` (the job's error message
             is surfaced) or ``timeout`` elapsed first.
+        JobNotFound
+            When the job id is unknown and no ``request`` was given to
+            resubmit.
         """
         deadline = time.monotonic() + timeout
         while True:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise ServiceError(f"timed out after {timeout:g}s waiting for {job_id}")
-            view = self.job(job_id, wait=min(poll, remaining))
+            try:
+                view = self.job(job_id, wait=min(poll, remaining))
+            except JobNotFound:
+                if request is None:
+                    raise
+                job = self.submit(
+                    request["experiment"],
+                    scale=request.get("scale", "small"),
+                    overrides=request.get("overrides"),
+                )
+                job_id = job["id"]
+                if job["status"] in (DONE, FAILED):
+                    view = job
+                else:
+                    continue
             if view["status"] == FAILED:
                 raise ServiceError(
                     f"job {job_id} failed: {view.get('error', 'unknown error')}",
@@ -170,11 +396,20 @@ class ServiceClient:
         overrides: Mapping[str, Any] | None = None,
         timeout: float = 600.0,
     ) -> dict:
-        """Submit a request and wait for its terminal job view."""
+        """Submit a request and wait for its terminal job view.
+
+        The request is remembered across the wait, so a server restart
+        mid-job resubmits instead of failing (see :meth:`wait_for`).
+        """
+        request = {
+            "experiment": experiment,
+            "scale": scale,
+            "overrides": dict(overrides or {}),
+        }
         job = self.submit(experiment, scale=scale, overrides=overrides)
         if job["status"] == DONE:
             return job
-        return self.wait_for(job["id"], timeout=timeout)
+        return self.wait_for(job["id"], timeout=timeout, request=request)
 
     def record(self, key: str) -> dict:
         """``GET /records/<key>``: one validated raw v3 sweep record."""
@@ -184,12 +419,35 @@ class ServiceClient:
         """``POST /records``: fetch many records in one round trip."""
         if not keys:
             return {}
-        return self._request("POST", "/records", {"keys": list(keys)})["records"]
+        return self._request(
+            "POST",
+            "/records",
+            {"version": PROTOCOL_VERSION, "keys": list(keys)},
+            retryable=True,
+        )["records"]
 
     def records_for(self, job: Mapping[str, Any]) -> dict[str, dict]:
         """Fetch every sweep record a finished job touched, keyed by hash."""
         return self.records(list(job.get("record_keys", ())))
 
     def shutdown(self) -> dict:
-        """``POST /shutdown``: ask the service to drain and stop."""
-        return self._request("POST", "/shutdown", {})
+        """``POST /shutdown``: ask the service to drain and stop.
+
+        Not retried on transport failures: a dropped response most
+        likely means the drain already started.
+        """
+        return self._request(
+            "POST", "/shutdown", {"version": PROTOCOL_VERSION}, retryable=False
+        )
+
+
+def _retry_after_seconds(error: urllib.error.HTTPError) -> float | None:
+    """The ``Retry-After`` header of a response, in seconds, if sane."""
+    raw = error.headers.get("Retry-After") if error.headers else None
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if 0 <= value < 3600 else None

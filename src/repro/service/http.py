@@ -30,10 +30,30 @@ Endpoints
     records).
 ``POST /shutdown``
     Acknowledge, then drain gracefully and stop the server.
+
+Production hardening (see DESIGN.md, "Service architecture"):
+
+* **Auth** — with ``auth_token`` set, everything except ``GET /healthz``
+  requires ``Authorization: Bearer <token>`` (401 otherwise, checked in
+  constant time).
+* **Rate limiting** — an optional rolling-window
+  :class:`~repro.service.ratelimit.RateLimiter` keyed by token-or-peer;
+  over-budget requests get 429 with a ``Retry-After`` header.
+* **Versioned schemas** — every response embeds a protocol ``version``
+  and requests declaring an unsupported version are a clear 400
+  (:mod:`repro.service.schemas`).
+* **Hostile/unlucky clients** — bodies are bounded and length-checked
+  (half-written bodies are a 400 + connection close, never a hang), a
+  per-connection socket timeout bounds slow-loris clients, and a peer
+  that vanishes mid-response closes only its own connection.
+* **Audit** — auth refusals, rate-limit hits, record serves/refusals
+  and shutdown requests append to the service's audit log.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import sys
 import threading
@@ -43,6 +63,8 @@ from urllib.parse import parse_qs, urlparse
 from .. import __version__
 from ..experiments.registry import SCALES, registry_json
 from .jobs import JobRequest, JobService, RequestError, ServiceUnavailable
+from .ratelimit import RateLimiter
+from .schemas import version_problem, versioned
 
 #: Longest server-side long-poll window per ``GET /jobs/<id>`` request.
 MAX_WAIT_SECONDS = 30.0
@@ -50,16 +72,61 @@ MAX_WAIT_SECONDS = 30.0
 #: Largest request body the service will read (requests are small JSON).
 MAX_BODY_BYTES = 4 * 1024 * 1024
 
+#: Default per-connection socket timeout.  Bounds how long a slow-loris
+#: client (trickling headers or body bytes) can pin a handler thread.
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+#: Exceptions a dead or misbehaving client can cause on our socket.
+#: They terminate the connection, never the server.
+_CLIENT_GONE = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    TimeoutError,
+)
+
 
 class ServiceServer(ThreadingHTTPServer):
-    """A ``ThreadingHTTPServer`` bound to one :class:`JobService`."""
+    """A ``ThreadingHTTPServer`` bound to one :class:`JobService`.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` to bind; port 0 binds an ephemeral port.
+    service:
+        The job service handling validated requests.
+    quiet:
+        Suppress the per-request access log.
+    auth_token:
+        Static bearer token.  When set, every endpoint except
+        ``GET /healthz`` (liveness probes stay unauthenticated) requires
+        ``Authorization: Bearer <token>`` and answers 401 otherwise.
+    rate_limiter:
+        Optional :class:`~repro.service.ratelimit.RateLimiter`; requests
+        beyond a client's budget answer 429 with a ``Retry-After``
+        header.  Clients are keyed by token-or-peer.
+    request_timeout:
+        Per-connection socket timeout in seconds (the slow-loris bound).
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: JobService, *, quiet: bool = True) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: JobService,
+        *,
+        quiet: bool = True,
+        auth_token: str | None = None,
+        rate_limiter: RateLimiter | None = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
+        self.auth_token = auth_token or None
+        self.rate_limiter = rate_limiter
+        self.request_timeout = request_timeout
         self._shutdown_thread: threading.Thread | None = None
 
     @property
@@ -107,6 +174,11 @@ class _Handler(BaseHTTPRequestHandler):
         """The job service this server fronts."""
         return self.server.service  # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        """Apply the server's slow-loris socket timeout, then set up."""
+        self.timeout = self.server.request_timeout  # type: ignore[attr-defined]
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Access log → stderr unless the server was started quiet."""
         if not self.server.quiet:  # type: ignore[attr-defined]
@@ -114,17 +186,36 @@ class _Handler(BaseHTTPRequestHandler):
                 f"{self.address_string()} - {format % args}\n"
             )
 
-    def _send(self, status: int, body: dict) -> None:
-        """One complete JSON response: status, exact length, single body."""
-        payload = json.dumps(body).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+    def _audit(self, event: str, **fields) -> None:
+        """Append an event to the service's audit log, when configured."""
+        audit = self.service.audit
+        if audit is not None:
+            audit.record(event, **fields)
 
-    def _error(self, status: int, message: str, **extra) -> None:
-        self._send(status, {"error": message, **extra})
+    def _send(self, status: int, body: dict, *, headers: dict | None = None) -> None:
+        """One complete JSON response: status, exact length, single body.
+
+        Every body is stamped with the protocol ``version``.  A client
+        that vanished mid-write (broken pipe, reset, send timeout) only
+        closes this connection — the handler thread and the server
+        survive, which is what the mid-response-drop fault test asserts.
+        """
+        payload = json.dumps(versioned(body)).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+        except _CLIENT_GONE:
+            self.close_connection = True
+
+    def _error(
+        self, status: int, message: str, *, headers: dict | None = None, **extra
+    ) -> None:
+        self._send(status, {"error": message, **extra}, headers=headers)
 
     def _body_length(self) -> int:
         """The request body length, from an untrusted Content-Length.
@@ -150,10 +241,90 @@ class _Handler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise RequestError("empty request body; expected a JSON object")
+        if len(raw) < length:
+            # The client promised more bytes than it sent (half-written
+            # body, dropped connection): the stream is desynced, so the
+            # connection must close after the error response.
+            self.close_connection = True
+            raise RequestError(
+                f"request body truncated: Content-Length {length}, "
+                f"received {len(raw)} bytes"
+            )
         try:
             return json.loads(raw)
         except ValueError as error:
             raise RequestError(f"request body is not valid JSON: {error}")
+
+    # ------------------------------------------------------------------ #
+    # Auth + rate-limit gate
+    # ------------------------------------------------------------------ #
+    def _identity(self) -> tuple[str, bool]:
+        """The client's ``(identity, token_ok)`` for this request.
+
+        Identity is *token-or-peer*: a request presenting the correct
+        bearer token is keyed (and audited) by a short digest of that
+        token — never the token itself — and anything else by its peer
+        address.
+        """
+        expected = self.server.auth_token  # type: ignore[attr-defined]
+        presented = None
+        header = self.headers.get("Authorization", "")
+        if header.startswith("Bearer "):
+            presented = header[len("Bearer "):].strip()
+        elif self.headers.get("X-Auth-Token"):
+            presented = self.headers["X-Auth-Token"].strip()
+        token_ok = expected is None or (
+            presented is not None and hmac.compare_digest(presented, expected)
+        )
+        if expected is not None and token_ok:
+            digest = hashlib.sha256(presented.encode("utf-8")).hexdigest()[:8]
+            return f"token:{digest}", True
+        return f"peer:{self.client_address[0]}", token_ok
+
+    def _gate(self, path: str, *, has_body: bool) -> bool:
+        """Run the auth and rate-limit checks; ``True`` lets the request in.
+
+        ``GET /healthz`` is exempt from both so liveness probes and
+        load balancers never need credentials and can never be limited
+        out of seeing a sick service.
+        """
+        self._actor, token_ok = self._identity()
+        if path == "/healthz":
+            return True
+        if not token_ok:
+            if has_body:
+                self._drain_body()
+            self._audit(
+                "auth.refused", actor=self._actor, method=self.command, path=path
+            )
+            self._error(
+                401,
+                "missing or invalid auth token; send "
+                "'Authorization: Bearer <token>'",
+            )
+            return False
+        limiter: RateLimiter | None = self.server.rate_limiter  # type: ignore[attr-defined]
+        if limiter is not None:
+            allowed, retry_after = limiter.allow(self._actor)
+            if not allowed:
+                if has_body:
+                    self._drain_body()
+                self._audit(
+                    "rate.limited",
+                    actor=self._actor,
+                    method=self.command,
+                    path=path,
+                    retry_after=round(retry_after, 3),
+                )
+                self._error(
+                    429,
+                    f"rate limit exceeded for {self._actor}; retry after "
+                    f"{retry_after:.1f}s",
+                    headers={"Retry-After": f"{max(retry_after, 0.1):.1f}"},
+                    retry_after=round(retry_after, 3),
+                )
+                return False
+        return True
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -161,6 +332,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Dispatch GET endpoints."""
         url = urlparse(self.path)
+        if not self._gate(url.path, has_body=False):
+            return
         parts = [part for part in url.path.split("/") if part]
         if parts == ["healthz"]:
             return self._get_healthz()
@@ -181,12 +354,15 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         """Dispatch POST endpoints."""
         parts = [part for part in urlparse(self.path).path.split("/") if part]
+        if not self._gate(urlparse(self.path).path, has_body=True):
+            return
         if parts == ["jobs"]:
             return self._post_job()
         if parts == ["records"]:
             return self._post_records()
         if parts == ["shutdown"]:
             self._drain_body()
+            self._audit("service.shutdown_requested", actor=self._actor)
             self._send(200, {"status": "draining"})
             self.server.trigger_shutdown()  # type: ignore[attr-defined]
             return
@@ -200,6 +376,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.rfile.read(self._body_length())
         except RequestError:
             pass  # garbage header: nothing sane to drain
+        except _CLIENT_GONE:
+            self.close_connection = True
 
     # ------------------------------------------------------------------ #
     # Endpoints
@@ -210,7 +388,9 @@ class _Handler(BaseHTTPRequestHandler):
             200,
             {
                 "status": "draining" if self.service.draining else "ok",
-                "version": __version__,
+                # "version" is the protocol stamp (added by _send);
+                # the package release lives under its own key.
+                "service_version": __version__,
                 "jobs": self.service.counts(),
                 "engine": {
                     "jobs": engine.jobs,
@@ -228,7 +408,7 @@ class _Handler(BaseHTTPRequestHandler):
         except RequestError as error:
             return self._error(400, str(error))
         try:
-            job, deduplicated = self.service.submit(request)
+            job, deduplicated = self.service.submit(request, actor=self._actor)
         except ServiceUnavailable as error:
             return self._error(503, str(error))
         body = job.snapshot()
@@ -261,6 +441,9 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._read_json()
         except RequestError as error:
             return self._error(400, str(error))
+        problem = version_problem(body)
+        if problem is not None:
+            return self._error(400, problem)
         keys = body.get("keys") if isinstance(body, dict) else None
         if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
             return self._error(400, "body must be {'keys': [<record key>, ...]}")
@@ -276,23 +459,43 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 records[key] = record
         if invalid:
+            self._audit(
+                "record.refused",
+                actor=self._actor,
+                reason="invalid",
+                keys=sorted(invalid),
+            )
             return self._error(
                 502, "cached records fail v3 schema validation", problems=invalid
             )
         if missing:
+            self._audit(
+                "record.refused",
+                actor=self._actor,
+                reason="missing",
+                keys=sorted(missing),
+            )
             return self._error(404, "no cached record for some keys", missing=missing)
+        self._audit("record.served", actor=self._actor, count=len(records))
         self._send(200, {"records": records})
 
     def _get_record(self, key: str) -> None:
         record, problems = self.service.record(key)
         if problems:
+            self._audit(
+                "record.refused", actor=self._actor, reason="invalid", keys=[key]
+            )
             return self._error(
                 502,
                 f"cached record {key} fails v3 schema validation",
                 problems=problems,
             )
         if record is None:
+            self._audit(
+                "record.refused", actor=self._actor, reason="missing", keys=[key]
+            )
             return self._error(404, f"no cached record for key {key!r}")
+        self._audit("record.served", actor=self._actor, count=1)
         self._send(200, {"key": key, "record": record})
 
 
@@ -302,11 +505,23 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    auth_token: str | None = None,
+    rate_limiter: RateLimiter | None = None,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
 ) -> ServiceServer:
     """Bind a :class:`ServiceServer` for ``service`` (without serving yet).
 
     Callers run ``server.serve_forever()`` (the CLI does) or drive it
     from a background thread (the tests do); ``port=0`` binds an
-    ephemeral port, reported by :attr:`ServiceServer.port`.
+    ephemeral port, reported by :attr:`ServiceServer.port`.  See
+    :class:`ServiceServer` for the auth, rate-limit and slow-client
+    protection parameters.
     """
-    return ServiceServer((host, port), service, quiet=quiet)
+    return ServiceServer(
+        (host, port),
+        service,
+        quiet=quiet,
+        auth_token=auth_token,
+        rate_limiter=rate_limiter,
+        request_timeout=request_timeout,
+    )

@@ -35,6 +35,8 @@ from typing import Any, Mapping
 from ..experiments.registry import SCALES, get_experiment
 from ..runner.cache import cache_key
 from ..runner.engine import SweepEngine, SweepPoint, progress_scope, validate_record
+from .audit import AuditLog
+from .schemas import version_problem
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -42,8 +44,9 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 
-#: The exact top-level fields a job request may carry; anything else is
-#: rejected with :class:`RequestError` before it can reach a dispatcher.
+#: The exact top-level fields a job request may carry (plus the optional
+#: protocol ``version``); anything else is rejected with
+#: :class:`RequestError` before it can reach a dispatcher.
 REQUEST_FIELDS = ("experiment", "scale", "overrides")
 
 #: A record cache key is exactly a lowercase SHA-256 hex digest.  The
@@ -97,7 +100,13 @@ class JobRequest:
             raise RequestError(
                 f"request body must be a JSON object, got {type(payload).__name__}"
             )
-        unknown = set(payload) - set(REQUEST_FIELDS)
+        # Protocol-version gate first: a client speaking another schema
+        # version gets one clear message, not a field-level complaint
+        # about a shape it was never meant to produce.
+        problem = version_problem(payload)
+        if problem is not None:
+            raise RequestError(problem)
+        unknown = set(payload) - set(REQUEST_FIELDS) - {"version"}
         if unknown:
             raise RequestError(
                 f"unknown request fields {sorted(unknown)}; "
@@ -287,10 +296,19 @@ class JobService:
         finished jobs the oldest are evicted — their ``GET /jobs/<id>``
         turns 404, but their *results* stay served by the record cache.
         Queued and running jobs are never evicted.
+    audit:
+        Optional :class:`~repro.service.audit.AuditLog`; every job
+        mutation (submit, dedup hit, state transition, drain) is
+        appended to it.  ``None`` disables auditing.
     """
 
     def __init__(
-        self, engine: SweepEngine, *, workers: int = 2, max_finished: int = 256
+        self,
+        engine: SweepEngine,
+        *,
+        workers: int = 2,
+        max_finished: int = 256,
+        audit: AuditLog | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -299,6 +317,7 @@ class JobService:
         self.engine = engine
         self.workers = workers
         self.max_finished = max_finished
+        self.audit = audit
         self._jobs: dict[str, Job] = {}
         self._active: dict[str, Job] = {}
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
@@ -318,8 +337,18 @@ class JobService:
     # ------------------------------------------------------------------ #
     # Submission and lookup
     # ------------------------------------------------------------------ #
-    def submit(self, request: JobRequest) -> tuple[Job, bool]:
+    def submit(
+        self, request: JobRequest, *, actor: str | None = None
+    ) -> tuple[Job, bool]:
         """Enqueue a request, deduplicating against in-flight jobs.
+
+        Parameters
+        ----------
+        request:
+            The validated request to execute.
+        actor:
+            Client identity for the audit trail (token digest or peer
+            address); ``None`` for in-process callers.
 
         Returns
         -------
@@ -335,19 +364,50 @@ class JobService:
         """
         with self._lock:
             if self._draining:
-                raise ServiceUnavailable("service is draining; no new jobs accepted")
-            existing = self._active.get(request.key)
-            if existing is not None:
-                return existing, True
-            job = Job(f"job-{next(self._counter):06d}", request)
-            self._jobs[job.id] = job
-            self._active[request.key] = job
-            # Enqueue under the lock: after a release, drain() could slip
-            # in, push its sentinels and stop the dispatchers — the job
-            # would be accepted but never run.  SimpleQueue.put never
-            # blocks, so holding the lock here is safe.
-            self._queue.put(job)
-        return job, False
+                job, deduplicated = None, False
+            else:
+                existing = self._active.get(request.key)
+                if existing is not None:
+                    job, deduplicated = existing, True
+                else:
+                    job = Job(f"job-{next(self._counter):06d}", request)
+                    deduplicated = False
+                    self._jobs[job.id] = job
+                    self._active[request.key] = job
+                    # Enqueue under the lock: after a release, drain()
+                    # could slip in, push its sentinels and stop the
+                    # dispatchers — the job would be accepted but never
+                    # run.  SimpleQueue.put never blocks, so holding the
+                    # lock here is safe.
+                    self._queue.put(job)
+        # Audit outside the lock: log I/O must never serialise submits.
+        if job is None:
+            self._audit(
+                "job.refused",
+                reason="draining",
+                experiment=request.experiment,
+                actor=actor,
+            )
+            raise ServiceUnavailable("service is draining; no new jobs accepted")
+        if deduplicated:
+            self._audit(
+                "job.deduplicated", job=job.id, key=request.key, actor=actor
+            )
+        else:
+            self._audit(
+                "job.submitted",
+                job=job.id,
+                key=request.key,
+                experiment=request.experiment,
+                scale=request.scale,
+                actor=actor,
+            )
+        return job, deduplicated
+
+    def _audit(self, event: str, **fields) -> None:
+        """Append an event to the audit log, when one is configured."""
+        if self.audit is not None:
+            self.audit.record(event, **fields)
 
     def get(self, job_id: str) -> Job | None:
         """The job with ``job_id``, or ``None`` when unknown."""
@@ -405,6 +465,7 @@ class JobService:
         from ..report.emitters import build_payload
 
         job.mark_running()
+        self._audit("job.started", job=job.id, experiment=job.request.experiment)
         try:
             spec = get_experiment(job.request.experiment)
             with progress_scope(job.on_progress):
@@ -414,8 +475,20 @@ class JobService:
                     **dict(job.request.overrides),
                 )
             job.mark_done(build_payload(spec, result))
+            progress = job.summary()["progress"]
+            self._audit(
+                "job.done",
+                job=job.id,
+                points=progress["points"],
+                executed=progress["executed"],
+                cache_hits=progress["cache_hits"],
+                seconds=round((job.finished or 0) - (job.started or 0), 3),
+            )
         except Exception as error:  # noqa: BLE001 - job isolation boundary
             job.mark_failed(f"{type(error).__name__}: {error}")
+            self._audit(
+                "job.failed", job=job.id, error=f"{type(error).__name__}: {error}"
+            )
         finally:
             with self._lock:
                 if self._active.get(job.request.key) is job:
@@ -442,14 +515,20 @@ class JobService:
         with self._lock:
             if self._drained:
                 return
+            already_draining = self._draining
             self._draining = True
+        if not already_draining:
+            self._audit("service.draining", jobs=self.counts())
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
             thread.join()
         self.engine.close()
         with self._lock:
+            if self._drained:
+                return
             self._drained = True
+        self._audit("service.drained", jobs=self.counts())
 
     @property
     def draining(self) -> bool:

@@ -1,0 +1,101 @@
+"""Per-client rolling-window rate limiting for the sweep service.
+
+A single slow-loop client (or a buggy retry loop) must not be able to
+monopolise the handler threads or the dispatcher queue.  The limiter is
+a classic rolling window: each client key keeps the timestamps of its
+recent requests; a request is allowed while fewer than ``limit``
+timestamps fall inside the trailing ``window`` seconds, and otherwise
+refused together with the number of seconds after which the oldest
+timestamp ages out — exactly what the HTTP layer forwards as a 429
+``Retry-After`` header, and what :class:`~repro.service.client.RetryPolicy`
+sleeps on before retrying.
+
+Clients are keyed by *token-or-peer*: authenticated requests share one
+bucket per token, anonymous requests one bucket per peer address (see
+``repro.service.http``).  The limiter itself is transport-agnostic and
+clock-injectable, so it unit-tests without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+#: Idle client buckets are pruned once the key table grows past this,
+#: so a scan of spoofed peer addresses cannot grow memory unboundedly.
+_PRUNE_THRESHOLD = 1024
+
+
+class RateLimiter:
+    """A thread-safe rolling-window request limiter.
+
+    Parameters
+    ----------
+    limit:
+        Maximum requests allowed per key inside any trailing window.
+    window:
+        Window length in seconds.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        limit: int,
+        window: float = 60.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        if window <= 0:
+            raise ValueError("window must be > 0")
+        self.limit = limit
+        self.window = float(window)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._hits: dict[str, deque[float]] = {}
+
+    def allow(self, key: str) -> tuple[bool, float]:
+        """Account one request for ``key`` and decide whether it may run.
+
+        Parameters
+        ----------
+        key:
+            The client identity (token digest or peer address).
+
+        Returns
+        -------
+        tuple of (bool, float)
+            ``(True, 0.0)`` when the request is within budget (and has
+            been counted), or ``(False, retry_after_seconds)`` when the
+            client must back off — refused requests are *not* counted,
+            so a client that honours ``Retry-After`` is never pushed
+            further into the red by its own retries.
+        """
+        now = self._clock()
+        horizon = now - self.window
+        with self._lock:
+            hits = self._hits.get(key)
+            if hits is None:
+                hits = self._hits[key] = deque()
+            while hits and hits[0] <= horizon:
+                hits.popleft()
+            if len(hits) < self.limit:
+                hits.append(now)
+                if len(self._hits) > _PRUNE_THRESHOLD:
+                    self._prune(horizon)
+                return True, 0.0
+            return False, max(hits[0] - horizon, 0.0)
+
+    def _prune(self, horizon: float) -> None:
+        """Drop keys whose entire history predates ``horizon`` (lock held)."""
+        stale = [
+            key
+            for key, hits in self._hits.items()
+            if not hits or hits[-1] <= horizon
+        ]
+        for key in stale:
+            del self._hits[key]

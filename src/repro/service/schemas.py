@@ -1,0 +1,67 @@
+"""Versioned request/response schemas for the sweep service.
+
+Every response body the service emits carries a top-level ``version``
+field (:data:`PROTOCOL_VERSION`), and every request body *may* carry
+one.  A request that names a version this server does not speak is
+rejected with a clear 400 — instead of the old failure mode where a
+schema mismatch surfaced as a ``KeyError`` deep inside a handler (or,
+worse, inside the client parsing a response shape it predates).
+
+The rules are deliberately small:
+
+* A request without a ``version`` field is treated as speaking the
+  current protocol (clients predate the field; their bodies are
+  validated structurally anyway).
+* A request with ``version != PROTOCOL_VERSION`` is a 400 whose message
+  names both versions, so a stale client fails actionably.
+* Responses always embed ``version`` so clients can detect a server
+  ahead of (or behind) them before touching any other field.
+
+This module is import-leaf on purpose (no intra-package imports), so
+the client, the job model and the HTTP layer can all share it without
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: The protocol version this build speaks.  Bump on any change to the
+#: request or response shapes that an old peer could misparse.
+PROTOCOL_VERSION = 1
+
+
+def version_problem(payload: Any) -> str | None:
+    """The reason ``payload``'s declared protocol version is unusable.
+
+    Parameters
+    ----------
+    payload:
+        A decoded request body (any JSON value; non-mappings carry no
+        version and are fine at this layer).
+
+    Returns
+    -------
+    str or None
+        A human-readable rejection message, or ``None`` when the payload
+        either declares the current version or declares none at all.
+    """
+    if not isinstance(payload, Mapping) or "version" not in payload:
+        return None
+    version = payload["version"]
+    if isinstance(version, bool) or not isinstance(version, int):
+        return (
+            f"'version' must be an integer, got {version!r}; "
+            f"this server speaks protocol version {PROTOCOL_VERSION}"
+        )
+    if version != PROTOCOL_VERSION:
+        return (
+            f"unsupported protocol version {version}; "
+            f"this server speaks version {PROTOCOL_VERSION}"
+        )
+    return None
+
+
+def versioned(body: Mapping[str, Any]) -> dict[str, Any]:
+    """``body`` as a response object stamped with the protocol version."""
+    return {"version": PROTOCOL_VERSION, **body}

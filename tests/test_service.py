@@ -44,11 +44,16 @@ from repro.service import (
     JobRequest,
     JobService,
     RequestError,
+    RetryPolicy,
     ServiceClient,
     ServiceError,
     ServiceUnavailable,
     serve,
 )
+
+#: Tests talk to an in-process server: deterministic errors (404/502)
+#: should fail fast, not back off for seconds like the production policy.
+FAST_RETRY = RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02, jitter=0.0)
 
 
 @contextmanager
@@ -63,7 +68,7 @@ def served(tmp_path, *, workers=2, cache=True, name="svc"):
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
-        yield ServiceClient(server.url), service, server
+        yield ServiceClient(server.url, retry=FAST_RETRY), service, server
     finally:
         service.drain()
         server.shutdown()

@@ -1,0 +1,530 @@
+"""Auth, rate limiting, schema versioning, audit and client retry tests.
+
+The production-hardening surface of ``repro.service``:
+
+* static bearer-token auth (401 without it, ``/healthz`` exempt),
+* per-client rolling-window rate limiting (429 + ``Retry-After``),
+* a protocol ``version`` field in every request/response (unsupported
+  versions are a clear 400, never a ``KeyError``),
+* an append-only JSONL audit log of every job/record mutation, and
+* client-side retry/backoff: exponential delays with jitter, 429
+  honouring ``Retry-After``, ``JobNotFound`` + resubmission across a
+  server restart, and the explicit-``timeout=0`` fix.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.runner import ArtifactStore, ResultCache, SweepEngine
+from repro.service import (
+    DONE,
+    NO_RETRY,
+    PROTOCOL_VERSION,
+    AuditLog,
+    JobNotFound,
+    JobService,
+    RateLimiter,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    serve,
+)
+
+FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.02, jitter=0.0)
+
+
+@contextmanager
+def served(
+    tmp_path,
+    *,
+    workers=2,
+    name="svc",
+    auth_token=None,
+    rate_limiter=None,
+    audit=None,
+    request_timeout=60.0,
+    client_token=None,
+    retry=FAST_RETRY,
+):
+    """A live in-process service with the hardening surface configurable."""
+    engine = SweepEngine(
+        cache=ResultCache(tmp_path / f"{name}-cache"),
+        store=ArtifactStore(tmp_path / f"{name}-store"),
+    )
+    service = JobService(engine, workers=workers, audit=audit)
+    server = serve(
+        service,
+        auth_token=auth_token,
+        rate_limiter=rate_limiter,
+        request_timeout=request_timeout,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(server.url, token=client_token, retry=retry)
+    try:
+        yield client, service, server
+    finally:
+        service.drain()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def raw_status(url: str, path: str, *, method="GET", headers=None, data=None):
+    """One raw HTTP exchange, returning ``(status, decoded json body)``."""
+    request = urllib.request.Request(
+        url + path, method=method, headers=headers or {}, data=data
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestAuth:
+    def test_endpoints_require_token_healthz_exempt(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_TOKEN", raising=False)
+        audit = AuditLog(tmp_path / "audit.jsonl")
+        with served(
+            tmp_path, auth_token="sesame", audit=audit, client_token="sesame"
+        ) as (client, service, server):
+            # Liveness stays open: probes never need credentials.
+            assert raw_status(server.url, "/healthz")[0] == 200
+
+            for path in ("/experiments", "/jobs"):
+                status, body = raw_status(server.url, path)
+                assert status == 401
+                assert "auth token" in body["error"]
+            status, _ = raw_status(
+                server.url,
+                "/jobs",
+                headers={"Authorization": "Bearer wrong"},
+            )
+            assert status == 401
+            # POST bodies are drained before the 401 so keep-alive
+            # connections stay in sync; a bad token can never submit.
+            status, _ = raw_status(
+                server.url,
+                "/jobs",
+                method="POST",
+                data=b'{"experiment": "fig12", "scale": "tiny"}',
+            )
+            assert status == 401
+            assert service.counts()["queued"] + service.counts()["running"] == 0
+
+            # The right token works, via either header.
+            assert client.jobs() == []
+            status, _ = raw_status(
+                server.url, "/jobs", headers={"X-Auth-Token": "sesame"}
+            )
+            assert status == 200
+
+        events = [entry["event"] for entry in audit.entries()]
+        assert events.count("auth.refused") == 4
+        refused = [e for e in audit.entries() if e["event"] == "auth.refused"]
+        assert all(e["actor"].startswith("peer:") for e in refused)
+        # Raw tokens never appear in the audit trail.
+        assert "sesame" not in (tmp_path / "audit.jsonl").read_text()
+
+    def test_client_reads_token_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_TOKEN", "from-env")
+        with served(tmp_path, auth_token="from-env") as (client, service, server):
+            env_client = ServiceClient(server.url, retry=FAST_RETRY)
+            assert env_client.health()["status"] == "ok"
+            assert env_client.jobs() == []
+
+
+class TestRateLimiter:
+    def test_rolling_window_allows_then_refuses_then_recovers(self):
+        clock = [0.0]
+        limiter = RateLimiter(3, 10.0, clock=lambda: clock[0])
+        for _ in range(3):
+            assert limiter.allow("a") == (True, 0.0)
+        allowed, retry_after = limiter.allow("a")
+        assert not allowed
+        assert retry_after == pytest.approx(10.0)
+        # Refused requests are not counted against the window.
+        assert limiter.allow("a")[1] == pytest.approx(10.0)
+        # Other keys have their own budget.
+        assert limiter.allow("b")[0]
+        clock[0] = 10.1  # the oldest hit ages out
+        assert limiter.allow("a")[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateLimiter(0)
+        with pytest.raises(ValueError):
+            RateLimiter(5, 0)
+
+    def test_http_429_carries_retry_after_and_client_honours_it(self, tmp_path):
+        limiter = RateLimiter(2, 1.0)
+        sleeps: list[float] = []
+        with served(tmp_path, rate_limiter=limiter) as (client, service, server):
+            patient = ServiceClient(
+                server.url,
+                retry=RetryPolicy(attempts=8, base_delay=0.01, jitter=0.0),
+                sleep=lambda s: sleeps.append(s),
+            )
+            # Two requests in budget, the third is limited; the client
+            # retries transparently (refusals are uncounted, so the
+            # retry lands once the window rolls).
+            impatient = ServiceClient(server.url, retry=NO_RETRY)
+            assert impatient.jobs() == []
+            assert impatient.jobs() == []
+            with pytest.raises(ServiceError) as err:
+                impatient.jobs()
+            assert err.value.status == 429
+            assert float(err.value.details["retry_after"]) > 0
+
+            # sleep is stubbed, so retries spin until the window truly
+            # rolls; every sleep the client *asked for* honours the
+            # server's Retry-After hint.
+            import time as _time
+
+            deadline = _time.monotonic() + 30
+            while True:
+                try:
+                    assert patient.jobs() == []
+                    break
+                except ServiceError:
+                    if _time.monotonic() > deadline:
+                        raise
+                    _time.sleep(0.05)
+            assert sleeps, "client never backed off on 429"
+            assert all(s > 0 for s in sleeps)
+
+
+class TestVersionedSchemas:
+    def test_responses_embed_protocol_version(self, tmp_path):
+        with served(tmp_path) as (client, service, server):
+            for path in ("/healthz", "/experiments", "/jobs"):
+                _, body = raw_status(server.url, path)
+                assert body["version"] == PROTOCOL_VERSION
+            _, body = raw_status(server.url, "/nope")
+            assert body["version"] == PROTOCOL_VERSION
+
+    def test_unsupported_request_version_is_a_clear_400(self, tmp_path):
+        with served(tmp_path) as (client, service, server):
+            for bad in (99, 0, -1, "1", 1.5, True):
+                status, body = raw_status(
+                    server.url,
+                    "/jobs",
+                    method="POST",
+                    data=json.dumps(
+                        {"version": bad, "experiment": "fig12", "scale": "tiny"}
+                    ).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                assert status == 400, bad
+                assert "version" in body["error"]
+                assert str(PROTOCOL_VERSION) in body["error"]
+            # POST /records speaks the same versioning rules.
+            status, body = raw_status(
+                server.url,
+                "/records",
+                method="POST",
+                data=json.dumps({"version": 99, "keys": []}).encode(),
+            )
+            assert status == 400
+            assert "version" in body["error"]
+
+    def test_current_and_absent_versions_accepted(self, tmp_path):
+        with served(tmp_path) as (client, service, server):
+            # The bundled client always declares the current version.
+            job = client.submit("fig12", scale="tiny")
+            assert job["version"] == PROTOCOL_VERSION
+            # A pre-versioning client (no field at all) still works.
+            status, body = raw_status(
+                server.url,
+                "/jobs",
+                method="POST",
+                data=b'{"experiment": "fig12", "scale": "tiny"}',
+            )
+            assert status in (200, 201)
+
+
+class TestAuditLog:
+    def test_record_and_entries_roundtrip(self, tmp_path):
+        log = AuditLog(tmp_path / "nested" / "audit.jsonl")
+        log.record("job.submitted", job="job-000001", actor="peer:127.0.0.1")
+        log.record("job.done", job="job-000001", points=3)
+        log.close()
+        entries = list(log.entries())
+        assert [e["event"] for e in entries] == ["job.submitted", "job.done"]
+        assert entries[0]["actor"] == "peer:127.0.0.1"
+        assert all("ts" in e for e in entries)
+
+    def test_partial_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path)
+        log.record("job.submitted", job="a")
+        log.close()
+        with path.open("a") as handle:
+            handle.write('{"ts": 1.0, "event": "job.do')  # SIGKILL mid-line
+        assert [e["event"] for e in log.entries()] == ["job.submitted"]
+
+    def test_unwritable_log_warns_once_never_raises(self, tmp_path):
+        blocked = tmp_path / "file"
+        blocked.write_text("not a directory")
+        log = AuditLog(blocked / "audit.jsonl")
+        with pytest.warns(RuntimeWarning, match="unwritable"):
+            log.record("job.submitted", job="a")
+        log.record("job.done", job="a")  # silent: warned already
+
+    def test_service_mutations_are_audited(self, tmp_path):
+        audit = AuditLog(tmp_path / "audit.jsonl")
+        with served(tmp_path, audit=audit) as (client, service, server):
+            job = client.run("fig12", scale="tiny", timeout=600)
+            assert job["status"] == DONE
+            client.records_for(job)
+            with pytest.raises(ServiceError):
+                client.record("ab" * 32)  # miss -> refusal is audited
+        events = [entry["event"] for entry in audit.entries()]
+        for expected in (
+            "job.submitted",
+            "job.started",
+            "job.done",
+            "record.served",
+            "record.refused",
+            "service.draining",
+            "service.drained",
+        ):
+            assert expected in events, f"missing {expected} in {events}"
+        done = next(e for e in audit.entries() if e["event"] == "job.done")
+        assert done["points"] == job["progress"]["points"]
+        assert done["job"] == job["id"]
+
+
+class FakeResponse(io.BytesIO):
+    """A minimal urlopen-style response for transport stubs."""
+
+    def __init__(self, body: dict) -> None:
+        super().__init__(json.dumps(body).encode())
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+class TestClientRetry:
+    def test_explicit_zero_timeout_is_not_replaced_by_default(self):
+        seen: list[float] = []
+
+        class Capturing(ServiceClient):
+            def _open(self, request, timeout):
+                seen.append(timeout)
+                return FakeResponse({"version": 1, "status": "ok"})
+
+        client = Capturing("http://127.0.0.1:1", timeout=60.0, retry=NO_RETRY)
+        client._request("GET", "/healthz", timeout=0)
+        client._request("GET", "/healthz", timeout=2.5)
+        client._request("GET", "/healthz")
+        assert seen == [0, 2.5, 60.0]
+
+    def test_transport_failures_backoff_exponentially_then_succeed(self):
+        sleeps: list[float] = []
+        failures = 3
+
+        class Flaky(ServiceClient):
+            def _open(self, request, timeout):
+                if len(sleeps) < failures:
+                    raise urllib.error.URLError(ConnectionResetError("boom"))
+                return FakeResponse({"version": 1, "status": "ok"})
+
+        client = Flaky(
+            "http://127.0.0.1:1",
+            retry=RetryPolicy(
+                attempts=5, base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+            ),
+            sleep=sleeps.append,
+        )
+        assert client.health()["status"] == "ok"
+        assert sleeps == [0.1, 0.2, 0.4]
+
+    def test_retries_exhausted_surface_as_service_error(self):
+        attempts = []
+
+        class Dead(ServiceClient):
+            def _open(self, request, timeout):
+                attempts.append(request.get_method())
+                raise ConnectionRefusedError("nobody home")
+
+        client = Dead(
+            "http://127.0.0.1:1",
+            retry=RetryPolicy(attempts=3, base_delay=0.0, jitter=0.0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(ServiceError, match="cannot reach service"):
+            client.health()
+        assert len(attempts) == 3
+
+    def test_post_jobs_is_retried_but_shutdown_is_not(self):
+        calls: list[str] = []
+
+        class Dead(ServiceClient):
+            def _open(self, request, timeout):
+                calls.append(f"{request.get_method()} {request.selector}")
+                raise ConnectionResetError("gone")
+
+        client = Dead(
+            "http://127.0.0.1:1",
+            retry=RetryPolicy(attempts=2, base_delay=0.0, jitter=0.0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(ServiceError):
+            client.submit("fig12", scale="tiny")
+        with pytest.raises(ServiceError):
+            client.shutdown()
+        assert sum(c.endswith("/jobs") for c in calls) == 2
+        assert sum(c.endswith("/shutdown") for c in calls) == 1
+
+    def test_deterministic_4xx_and_draining_503_never_retry(self, tmp_path):
+        with served(tmp_path) as (client, service, server):
+            attempts: list[str] = []
+            real_open = ServiceClient._open
+
+            class Counting(ServiceClient):
+                def _open(self, request, timeout):
+                    attempts.append(request.selector)
+                    return real_open(self, request, timeout)
+
+            counting = Counting(server.url, retry=FAST_RETRY)
+            with pytest.raises(ServiceError) as err:
+                counting._request("POST", "/jobs", {"experiment": "nope"})
+            assert err.value.status == 400
+            assert len(attempts) == 1
+            attempts.clear()
+            service.drain()
+            with pytest.raises(ServiceError) as err:
+                counting.submit("fig12", scale="tiny")
+            assert err.value.status == 503
+            assert len(attempts) == 1
+
+    def test_retry_policy_delay_growth_and_jitter_bounds(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay=0.5, multiplier=2.0, max_delay=3.0, jitter=0.25
+        )
+        exact = RetryPolicy(
+            attempts=6, base_delay=0.5, multiplier=2.0, max_delay=3.0, jitter=0.0
+        )
+        assert [exact.delay(n) for n in range(1, 5)] == [0.5, 1.0, 2.0, 3.0]
+        for n in range(1, 6):
+            base = exact.delay(n)
+            for _ in range(50):
+                assert base * 0.75 <= policy.delay(n) <= base * 1.25
+
+
+class TestJobNotFound:
+    def test_unknown_job_raises_distinct_error_with_id(self, tmp_path):
+        with served(tmp_path) as (client, service, server):
+            with pytest.raises(JobNotFound) as err:
+                client.job("job-999999")
+            assert err.value.job_id == "job-999999"
+            assert err.value.status == 404
+            assert "resubmit" in str(err.value)
+            with pytest.raises(JobNotFound):
+                client.wait_for("job-999999", timeout=5, poll=0.1)
+
+    def test_wait_for_survives_server_restart_by_resubmitting(self, tmp_path):
+        # "Restart": a first service runs the job and stops; a second
+        # one over the same cache/store knows nothing about the old id.
+        with served(tmp_path, name="first") as (client, service, server):
+            job = client.run("fig12", scale="tiny", timeout=600)
+            stale_id = job["id"]
+        with served(tmp_path, name="first") as (client2, service2, server2):
+            request = {"experiment": "fig12", "scale": "tiny", "overrides": {}}
+            view = client2.wait_for(
+                stale_id, timeout=600, poll=0.2, request=request
+            )
+            assert view["status"] == DONE
+            # The wait landed on a *resubmitted* job owned by the new
+            # service (ids may coincide: each service numbers from 1).
+            assert [j.id for j in service2.jobs()] == [view["id"]]
+            # The restarted service served it all from the shared cache:
+            # the resubmission cost zero re-simulation.
+            assert view["progress"]["executed"] == 0
+            assert view["progress"]["cache_hits"] == view["progress"]["points"]
+
+
+class TestServeCliDrainAck:
+    def test_unexpected_crash_drains_logs_cause_and_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.service import cli as service_cli
+
+        drained = []
+
+        class ExplodingServer:
+            url = "http://127.0.0.1:0"
+
+            def serve_forever(self):
+                raise RuntimeError("socket table corrupted")
+
+            def server_close(self):
+                pass
+
+        real_drain = JobService.drain
+        monkeypatch.setattr(
+            JobService, "drain", lambda self: (drained.append(True), real_drain(self))
+        )
+        monkeypatch.setattr(
+            service_cli, "serve", lambda *args, **kwargs: ExplodingServer()
+        )
+        code = service_cli.main(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--no-cache",
+                "--store-dir",
+                str(tmp_path / "store"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert drained, "drain must still run after an unexpected crash"
+        assert "RuntimeError: socket table corrupted" in captured.err
+        assert "drained; service stopped after error" in captured.out
+        assert "drained; service stopped\n" not in captured.out
+
+    def test_clean_loop_exit_still_acks_and_returns_zero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.service import cli as service_cli
+
+        class QuietServer:
+            url = "http://127.0.0.1:0"
+
+            def serve_forever(self):
+                raise KeyboardInterrupt
+
+            def server_close(self):
+                pass
+
+        monkeypatch.setattr(
+            service_cli, "serve", lambda *args, **kwargs: QuietServer()
+        )
+        code = service_cli.main(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--no-cache",
+                "--store-dir",
+                str(tmp_path / "store"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "drained; service stopped" in captured.out
