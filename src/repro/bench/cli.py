@@ -32,10 +32,15 @@ Append the SMALL trajectory to ``BENCH_sweep.json``::
 
     python -m repro.bench --scale small --jobs 4
 
-CI smoke run: TINY scenarios checked against the committed baseline::
+CI smoke run: TINY scenarios appended, then gated against the committed
+baseline via the ``compare`` subcommand (per-scenario speedup ratios,
+exit 1 past the 2x budget)::
 
-    python -m repro.bench --scale tiny --jobs 2 \
-        --check benchmarks/bench_baseline.json
+    python -m repro.bench --scale tiny --jobs 2 --profile
+    python -m repro.bench compare --baseline benchmarks/bench_baseline.json
+
+``--profile`` additionally runs each scenario under ``cProfile`` and
+writes a top-25 cumulative stats dump next to the trajectory file.
 """
 
 from __future__ import annotations
@@ -73,13 +78,21 @@ DEFAULT_OUTPUT = "BENCH_sweep.json"
 
 _STATS_RE = re.compile(
     r"(?P<points>\d+) points, (?P<hits>\d+) cache hits, "
-    r"(?P<executed>\d+) simulated, (?P<sweep>[\d.]+)s wall-clock"
+    r"(?P<executed>\d+) simulated"
+    r"(?:, (?P<store_hits>\d+) store hits, (?P<store_misses>\d+) store misses)?"
+    r", (?P<sweep>[\d.]+)s wall-clock"
 )
 
 
 @dataclass(frozen=True)
 class BenchResult:
-    """One timed scenario, as appended to ``BENCH_sweep.json``."""
+    """One timed scenario, as appended to ``BENCH_sweep.json``.
+
+    ``store_hits`` / ``store_misses`` are the parent engine's artifact
+    store counters (``None`` for runs without a store or from versions
+    that predate the counters) — they distinguish warm-store scenarios
+    (all hits) from cold ones (all misses) in the trajectory.
+    """
 
     schema: int
     timestamp: str
@@ -95,6 +108,8 @@ class BenchResult:
     code_version: str
     python: str
     cpu_count: int
+    store_hits: int | None = None
+    store_misses: int | None = None
 
 
 def _runner_command(
@@ -103,9 +118,12 @@ def _runner_command(
     jobs: int,
     cache_dir: pathlib.Path,
     store_dir: pathlib.Path,
+    profile_path: pathlib.Path | None = None,
 ) -> list[str]:
-    return [
-        sys.executable,
+    command = [sys.executable]
+    if profile_path is not None:
+        command += ["-m", "cProfile", "-o", str(profile_path)]
+    command += [
         "-m",
         "repro.runner",
         experiment,
@@ -119,6 +137,7 @@ def _runner_command(
         str(store_dir),
         "--quiet",
     ]
+    return command
 
 
 def run_scenario(
@@ -128,6 +147,7 @@ def run_scenario(
     scale: str = "small",
     jobs: int = 4,
     workdir: pathlib.Path,
+    profile_path: pathlib.Path | None = None,
 ) -> BenchResult:
     """Time one scenario in a fresh subprocess.
 
@@ -146,6 +166,12 @@ def run_scenario(
         Scratch directory holding the scenario-controlled ``cache`` and
         ``store`` subdirectories.  Cold scenarios wipe them; warm ones
         reuse whatever previous scenarios left behind.
+    profile_path:
+        When given, the runner subprocess executes under ``cProfile``
+        and writes its raw stats here (wall-clock includes the profiler
+        overhead — compare profiled runs only with profiled runs).
+        Ignored by ``service_warm``, whose timed work happens in the
+        service process.
 
     Returns
     -------
@@ -173,7 +199,9 @@ def run_scenario(
         )
 
     scenario_jobs = jobs if scenario == "parallel_cold" else 1
-    command = _runner_command(experiment, scale, scenario_jobs, cache_dir, store_dir)
+    command = _runner_command(
+        experiment, scale, scenario_jobs, cache_dir, store_dir, profile_path
+    )
     start = time.perf_counter()
     completed = subprocess.run(
         command, capture_output=True, text=True, env=os.environ.copy()
@@ -184,6 +212,12 @@ def run_scenario(
             f"benchmark run failed ({' '.join(command)}):\n{completed.stderr}"
         )
     match = _STATS_RE.search(completed.stdout)
+
+    def _stat(name: str) -> int | None:
+        if match is None or match.group(name) is None:
+            return None
+        return int(match.group(name))
+
     return BenchResult(
         schema=BENCH_SCHEMA_VERSION,
         timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -193,12 +227,14 @@ def run_scenario(
         jobs=scenario_jobs,
         wall_seconds=round(wall, 3),
         sweep_seconds=float(match.group("sweep")) if match else None,
-        points=int(match.group("points")) if match else None,
-        cache_hits=int(match.group("hits")) if match else None,
-        executed=int(match.group("executed")) if match else None,
+        points=_stat("points"),
+        cache_hits=_stat("hits"),
+        executed=_stat("executed"),
         code_version=__version__,
         python=platform.python_version(),
         cpu_count=os.cpu_count() or 1,
+        store_hits=_stat("store_hits"),
+        store_misses=_stat("store_misses"),
     )
 
 
@@ -344,6 +380,137 @@ def check_against_baseline(
     return failures
 
 
+def latest_entries(trajectory_path: pathlib.Path) -> dict[str, dict]:
+    """The most recent trajectory entry per ``experiment/scale/scenario``."""
+    entries = json.loads(trajectory_path.read_text())
+    if not isinstance(entries, list):
+        raise ValueError(f"{trajectory_path} is not a JSON array")
+    latest: dict[str, dict] = {}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        key = f"{entry.get('experiment')}/{entry.get('scale')}/{entry.get('scenario')}"
+        latest[key] = entry
+    return latest
+
+
+def compare_trajectory(
+    trajectory_path: pathlib.Path,
+    baseline_path: pathlib.Path,
+    *,
+    factor: float = 2.0,
+) -> tuple[list[str], list[str]]:
+    """Diff the latest trajectory entries against the committed baseline.
+
+    For every baseline key with a trajectory measurement, computes the
+    speedup ratio (baseline over measured wall seconds — above 1.0 is
+    faster than the baseline).  A measurement *fails* when it exceeds
+    ``factor`` times its baseline, mirroring
+    :func:`check_against_baseline`; this is what the CI gate runs.
+
+    Returns
+    -------
+    (lines, failures)
+        Human-readable per-scenario ratio lines, and the subset that
+        regressed past the budget.
+    """
+    baseline = {
+        key: value
+        for key, value in json.loads(baseline_path.read_text()).items()
+        if isinstance(value, (int, float))  # skips the "_comment" entry
+    }
+    latest = latest_entries(trajectory_path)
+    lines: list[str] = []
+    failures: list[str] = []
+    for key in sorted(baseline):
+        reference = float(baseline[key])
+        entry = latest.get(key)
+        if entry is None or not isinstance(entry.get("wall_seconds"), (int, float)):
+            lines.append(f"{key}: baseline {reference:.2f}s, no measurement")
+            continue
+        measured = float(entry["wall_seconds"])
+        ratio = reference / measured if measured > 0 else float("inf")
+        verdict = f"{ratio:.2f}x faster" if ratio >= 1 else f"{1 / ratio:.2f}x slower"
+        line = f"{key}: {measured:.2f}s vs {reference:.2f}s baseline ({verdict})"
+        if measured > reference * factor:
+            line += f" REGRESSION (budget {reference * factor:.2f}s = {factor:g}x)"
+            failures.append(line)
+        lines.append(line)
+    extra = sorted(set(latest) - set(baseline))
+    for key in extra:
+        wall = latest[key].get("wall_seconds")
+        if isinstance(wall, (int, float)):
+            lines.append(f"{key}: {float(wall):.2f}s (no baseline entry)")
+    return lines, failures
+
+
+def perf_markdown_table(trajectory_path: pathlib.Path) -> str:
+    """Render the latest trajectory entries as a Markdown table.
+
+    One row per ``experiment/scale/scenario`` (most recent entry wins),
+    ordered by scale tier then scenario execution order.  The README's
+    performance table is this exact output, pinned by a docs test —
+    regenerate it after appending new measurements::
+
+        python - <<'PY'
+        import pathlib
+        from repro.bench.cli import perf_markdown_table
+        print(perf_markdown_table(pathlib.Path("BENCH_sweep.json")))
+        PY
+    """
+    scale_order = {"tiny": 0, "small": 1, "paper": 2}
+    scenario_order = {name: i for i, name in enumerate(SCENARIOS)}
+
+    def sort_key(item: tuple[str, dict]) -> tuple:
+        experiment, scale, scenario = item[0].split("/")
+        return (
+            experiment,
+            scale_order.get(scale, len(scale_order)),
+            scenario_order.get(scenario, len(scenario_order)),
+        )
+
+    lines = [
+        "| Experiment | Scale | Scenario | Jobs | Wall (s) | Sweep (s) | Store hits/misses |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for key, entry in sorted(latest_entries(trajectory_path).items(), key=sort_key):
+        experiment, scale, scenario = key.split("/")
+        sweep = entry.get("sweep_seconds")
+        hits, misses = entry.get("store_hits"), entry.get("store_misses")
+        lines.append(
+            "| `{}` | {} | `{}` | {} | {:.2f} | {} | {} |".format(
+                experiment,
+                scale,
+                scenario,
+                entry.get("jobs", "—"),
+                float(entry["wall_seconds"]),
+                f"{float(sweep):.2f}" if isinstance(sweep, (int, float)) else "—",
+                f"{hits}/{misses}" if hits is not None else "—",
+            )
+        )
+    return "\n".join(lines)
+
+
+def write_profile_summary(
+    profiles: dict[str, pathlib.Path], summary_path: pathlib.Path, *, top: int = 25
+) -> None:
+    """Dump each profiled scenario's top-``top`` cumulative stats to a file."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    for scenario, path in profiles.items():
+        buffer.write(f"==== {scenario} ({path.name}) ====\n")
+        try:
+            stats = pstats.Stats(str(path), stream=buffer)
+        except (OSError, TypeError, EOFError):
+            buffer.write("profile unavailable\n\n")
+            continue
+        stats.sort_stats("cumulative").print_stats(top)
+        buffer.write("\n")
+    summary_path.write_text(buffer.getvalue())
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro.bench`` argument parser."""
     from ..experiments.common import SCALE_TIERS
@@ -351,6 +518,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Time canonical sweep scenarios and append BENCH_sweep.json.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    compare = sub.add_parser(
+        "compare",
+        help="diff the latest trajectory entries against a baseline",
+        description=(
+            "Print per-scenario speedup/regression ratios of the latest "
+            "BENCH_sweep.json entries against the committed baseline; "
+            "exit 1 on any regression past the factor budget."
+        ),
+    )
+    compare.add_argument(
+        "--trajectory",
+        default=DEFAULT_OUTPUT,
+        help="trajectory file to read (default: %(default)s)",
+    )
+    compare.add_argument(
+        "--baseline",
+        default="benchmarks/bench_baseline.json",
+        help="baseline file (default: %(default)s)",
+    )
+    compare.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="regression budget multiplier (default: %(default)s)",
     )
     parser.add_argument(
         "--scale",
@@ -397,12 +590,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print results without touching the trajectory file",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run each scenario under cProfile and write a top-25 "
+            "cumulative stats dump next to the trajectory file"
+        ),
+    )
     return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    trajectory = pathlib.Path(args.trajectory)
+    baseline = pathlib.Path(args.baseline)
+    for path in (trajectory, baseline):
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+    lines, failures = compare_trajectory(trajectory, baseline, factor=args.factor)
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1
+    print(f"all measured scenarios within {args.factor:g}x of {baseline}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Run the selected scenarios; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
     scenarios = [name.strip() for name in args.scenarios.split(",") if name.strip()]
     unknown = [name for name in scenarios if name not in SCENARIOS]
     if unknown:
@@ -419,21 +640,38 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         results = []
+        profiles: dict[str, pathlib.Path] = {}
         for scenario in scenarios:
+            profile_path = None
+            if args.profile and scenario != "service_warm":
+                profile_path = workdir / f"{scenario}.prof"
             result = run_scenario(
                 scenario,
                 experiment=args.experiment,
                 scale=args.scale,
                 jobs=args.jobs,
                 workdir=workdir,
+                profile_path=profile_path,
             )
+            if profile_path is not None and profile_path.exists():
+                profiles[scenario] = profile_path
             results.append(result)
+            store_part = ""
+            if result.store_hits is not None:
+                store_part = (
+                    f", store {result.store_hits} hits"
+                    f"/{result.store_misses} misses"
+                )
             print(
                 f"{result.experiment}/{result.scale}/{result.scenario} "
                 f"(jobs={result.jobs}): {result.wall_seconds:.2f}s wall, "
                 f"sweep {result.sweep_seconds}s, "
-                f"{result.cache_hits}/{result.points} cache hits"
+                f"{result.cache_hits}/{result.points} cache hits{store_part}"
             )
+        if profiles:
+            summary = pathlib.Path(args.output).with_name("bench_profile.txt")
+            write_profile_summary(profiles, summary)
+            print(f"wrote profile summary to {summary}")
     finally:
         if cleanup is not None:
             cleanup.cleanup()

@@ -71,28 +71,58 @@ class SparsityBreakdown:
         }
 
 
+@dataclass(frozen=True)
+class _DecompositionTotals:
+    """Integer masses every density/operation metric derives from.
+
+    Collected in ONE pass over the tiles (see
+    :func:`_decomposition_totals`) — the per-property loops of
+    :class:`~repro.core.sparsity.MatrixDecomposition` recompute these
+    sums per access, which dominates the metric cost on many-tile
+    layers.  Positive/negative correction counts come from the exact
+    identities ``pos = (nnz + signed) / 2`` and ``neg = (nnz - signed)
+    / 2`` (Level 2 values are in {-1, 0, +1}), so no ``== 1`` / ``== -1``
+    temporaries are materialised.
+    """
+
+    elements: int
+    ones: int
+    rows: int
+    assigned: int
+    pattern_bit_mass: int
+    level2_nonzeros: int
+    level2_positive: int
+    level2_negative: int
+
+
+def _decomposition_totals(decomposition: MatrixDecomposition) -> _DecompositionTotals:
+    elements = ones = rows = assigned = pattern_mass = nnz = signed = 0
+    for tile in decomposition.tiles:
+        elements += tile.original.size
+        ones += int(np.count_nonzero(tile.original))
+        rows += tile.num_rows
+        used = tile.pattern_indices[tile.pattern_indices != NO_PATTERN]
+        assigned += used.size
+        if used.size:
+            popcounts = tile.patterns.matrix.sum(axis=1)
+            pattern_mass += int(popcounts[used - 1].sum())
+        nnz += int(np.count_nonzero(tile.level2))
+        signed += int(tile.level2.sum(dtype=np.int64))
+    return _DecompositionTotals(
+        elements=elements,
+        ones=ones,
+        rows=rows,
+        assigned=assigned,
+        pattern_bit_mass=pattern_mass,
+        level2_nonzeros=nnz,
+        level2_positive=(nnz + signed) // 2,
+        level2_negative=(nnz - signed) // 2,
+    )
+
+
 def sparsity_breakdown(decomposition: MatrixDecomposition) -> SparsityBreakdown:
     """Compute the Table-4-style density breakdown of a decomposition."""
-    total_elements = sum(t.original.size for t in decomposition.tiles)
-    if total_elements == 0:
-        return SparsityBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-
-    pattern_bit_mass = 0
-    for tile in decomposition.tiles:
-        assigned = tile.pattern_indices != NO_PATTERN
-        if np.any(assigned):
-            pattern_matrix = tile.patterns.matrix
-            popcounts = pattern_matrix.sum(axis=1)
-            pattern_bit_mass += int(popcounts[tile.pattern_indices[assigned] - 1].sum())
-
-    return SparsityBreakdown(
-        bit_density=decomposition.bit_density,
-        level1_density=pattern_bit_mass / total_elements,
-        level1_vector_density=decomposition.level1_density,
-        level2_density=decomposition.level2_density,
-        level2_positive_density=decomposition.level2_positive_density,
-        level2_negative_density=decomposition.level2_negative_density,
-    )
+    return decomposition_metrics(decomposition)[1]
 
 
 @dataclass(frozen=True)
@@ -146,20 +176,35 @@ def operation_counts(decomposition: MatrixDecomposition) -> OperationCounts:
     accumulation per assigned pattern (the PWP lookup) plus one per Level 2
     correction element.
     """
-    dense_ops = 0
-    bit_ops = 0
-    l1_ops = 0
-    l2_ops = 0
-    for tile in decomposition.tiles:
-        dense_ops += tile.original.size
-        bit_ops += int(tile.original.sum())
-        l1_ops += int(np.count_nonzero(tile.pattern_indices != NO_PATTERN))
-        l2_ops += int(np.count_nonzero(tile.level2))
-    return OperationCounts(
-        dense_ops=dense_ops,
-        bit_sparse_ops=bit_ops,
-        phi_level1_ops=l1_ops,
-        phi_level2_ops=l2_ops,
+    return decomposition_metrics(decomposition)[0]
+
+
+def decomposition_metrics(
+    decomposition: MatrixDecomposition,
+) -> tuple[OperationCounts, SparsityBreakdown]:
+    """Operation counts and density breakdown from ONE tile pass.
+
+    The two metric families share every underlying integer mass, so
+    callers that need both (the engine's decomposition records) should
+    use this instead of calling :func:`operation_counts` and
+    :func:`sparsity_breakdown` separately and paying the pass twice.
+    """
+    totals = _decomposition_totals(decomposition)
+    counts = OperationCounts(
+        dense_ops=totals.elements,
+        bit_sparse_ops=totals.ones,
+        phi_level1_ops=totals.assigned,
+        phi_level2_ops=totals.level2_nonzeros,
+    )
+    if totals.elements == 0:
+        return counts, SparsityBreakdown(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return counts, SparsityBreakdown(
+        bit_density=totals.ones / totals.elements,
+        level1_density=totals.pattern_bit_mass / totals.elements,
+        level1_vector_density=totals.assigned / totals.rows,
+        level2_density=totals.level2_nonzeros / totals.elements,
+        level2_positive_density=totals.level2_positive / totals.elements,
+        level2_negative_density=totals.level2_negative / totals.elements,
     )
 
 

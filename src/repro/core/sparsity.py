@@ -165,7 +165,7 @@ def decompose_tile(tile: np.ndarray, patterns: PatternSet) -> TileDecomposition:
         raise ValueError(f"tile must be 2-D, got shape {tile.shape}")
     if not is_binary_matrix(tile):
         raise ValueError("tile must be a binary 0/1 matrix")
-    tile = tile.astype(np.uint8)
+    tile = tile.astype(np.uint8, copy=False)
     if tile.shape[1] != patterns.width:
         raise ValueError(
             f"tile width {tile.shape[1]} does not match pattern width {patterns.width}"
@@ -215,17 +215,21 @@ def rebuild_tile(
     the bit-exact :func:`decompose_tile` result at a fraction of its cost
     (no Hamming matching).
     """
-    tile = np.asarray(tile).astype(np.uint8)
+    # No-copy when the caller already holds uint8 (workload activations
+    # are, including memmap-backed store views) — the rebuild only reads.
+    tile = np.asarray(tile, dtype=np.uint8)
     indices = np.asarray(pattern_indices, dtype=np.int32)
     if indices.shape != (tile.shape[0],):
         raise ValueError(
             f"pattern_indices must have shape ({tile.shape[0]},), got {indices.shape}"
         )
-    level2 = np.zeros(tile.shape, dtype=np.int8)
-    use_pattern = indices != NO_PATTERN
-    assigned = patterns.matrix.astype(np.int16)[indices[use_pattern] - 1]
-    level2[use_pattern] = (tile[use_pattern].astype(np.int16) - assigned).astype(np.int8)
-    level2[~use_pattern] = tile[~use_pattern].astype(np.int8)
+    # One gather instead of boolean-masked scatters: row 0 of the padded
+    # pattern table is all-zero, so unassigned rows (``NO_PATTERN`` == 0)
+    # subtract nothing and keep their bit-sparse form — bit-exact with
+    # the per-mask formulation, at a fraction of its indexing cost.
+    padded = np.zeros((patterns.matrix.shape[0] + 1, tile.shape[1]), dtype=np.int16)
+    padded[1:] = patterns.matrix
+    level2 = (tile.astype(np.int16) - padded[indices]).astype(np.int8)
     return TileDecomposition(
         pattern_indices=indices, level2=level2, patterns=patterns, original=tile
     )

@@ -12,6 +12,9 @@ packs, plus a small drain term.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from .config import ArchConfig
 from .preprocessor import Pack, PackCounts
@@ -107,6 +110,22 @@ class L2Processor:
             weight_bytes_read=float(weight_bytes),
             psum_bytes_accessed=float(psum_bytes),
         )
+
+    def pack_cycles_for(self, counts_list: Sequence[PackCounts]) -> np.ndarray:
+        """Per-tile L2 cycle counts for a whole layer in one pass.
+
+        Vectorized pack accounting: element ``i`` equals
+        ``process_pack_counts(counts_list[i]).cycles`` exactly, but the
+        whole layer is costed in one NumPy expression instead of one
+        :class:`L2Result` per tile — the batched pipeline's compute
+        stage only needs the cycle vector on its critical path.
+        """
+        packs = np.fromiter(
+            (counts.num_packs for counts in counts_list),
+            dtype=np.int64,
+            count=len(counts_list),
+        )
+        return packs + (packs > 0) * self.PIPELINE_DEPTH
 
     def process_pack_counts(
         self, counts: PackCounts, *, output_width: int | None = None

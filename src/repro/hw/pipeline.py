@@ -390,16 +390,52 @@ class AcceleratorModel(ABC):
         """Simulate a complete model workload into a :class:`RunResult`."""
 
     def simulate_many(
-        self, workloads: Sequence["ModelWorkload"], **kwargs: Any
+        self,
+        workloads: Sequence["ModelWorkload"],
+        *,
+        calibrations: Sequence[Any] | None = None,
+        decompositions: Sequence[Any] | None = None,
+        **kwargs: Any,
     ) -> list[RunResult]:
         """Simulate a batch of workloads with one model instance.
 
         The default implementation loops :meth:`simulate`; models whose
         state amortises across workloads (shared calibrations, warmed
-        caches) may process the batch more cheaply than isolated calls.
-        This is the *model-level* batched entry for library callers
-        running one configuration across many workloads; sweep grids
-        (one model per configuration) are batched by the engine-level
+        caches) override it to process the batch more cheaply than
+        isolated calls — :meth:`PhiSimulator.simulate_many
+        <repro.hw.simulator.PhiSimulator.simulate_many>` advances every
+        layer of every workload in one NumPy lockstep pass.  This is
+        the *model-level* batched entry for library callers running one
+        configuration across many workloads; sweep grids (one model per
+        configuration) are batched by the engine-level
         :func:`repro.runner.engine.simulate_many` instead.
+
+        Parameters
+        ----------
+        workloads:
+            The workloads to simulate.
+        calibrations, decompositions:
+            Optional per-workload sequences, mirroring the batched Phi
+            signature so callers can target the base API uniformly.  A
+            ``None`` entry (or omitting the sequence) simulates that
+            workload exactly as a bare :meth:`simulate` call would;
+            non-``None`` entries are forwarded as the ``calibration`` /
+            ``decompositions`` keyword arguments, so models that do not
+            accept them surface the same ``TypeError`` a direct call
+            would.
         """
-        return [self.simulate(workload, **kwargs) for workload in workloads]
+        if calibrations is None:
+            calibrations = [None] * len(workloads)
+        if decompositions is None:
+            decompositions = [None] * len(workloads)
+        results = []
+        for workload, calibration, decomposition in zip(
+            workloads, calibrations, decompositions
+        ):
+            per_call = dict(kwargs)
+            if calibration is not None:
+                per_call["calibration"] = calibration
+            if decomposition is not None:
+                per_call["decompositions"] = decomposition
+            results.append(self.simulate(workload, **per_call))
+        return results

@@ -33,6 +33,9 @@ two classes for existing callers.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
 import numpy as np
 
 from ..core.calibration import LayerCalibration, ModelCalibration, PhiCalibrator
@@ -53,7 +56,13 @@ from .pipeline import (
     RunResult,
     StageRecord,
 )
-from .preprocessor import EMPTY_PACK_COUNTS, PackCounts, Preprocessor
+from .preprocessor import (
+    EMPTY_PACK_COUNTS,
+    CompressedCounts,
+    PackCounts,
+    Preprocessor,
+    pack_counts_batch,
+)
 
 #: Compatibility aliases: the pre-pipeline result classes are the
 #: canonical schema now (see ``repro.hw.pipeline``).
@@ -93,14 +102,27 @@ class PhiTilingStage:
             (m_start, min(m_start + arch.tile_m, layer.m))
             for m_start in range(0, layer.m, arch.tile_m)
         ]
+        # The density/op-count metrics and the pattern-index matrix are
+        # pure functions of the decomposition; a batched caller that
+        # shares one decomposition across many points seeds them so they
+        # are computed once per decomposition instead of once per point.
+        breakdown = ctx.scratch.get("breakdown")
+        if breakdown is None:
+            breakdown = sparsity_breakdown(decomposition)
+        ops = ctx.scratch.get("ops")
+        if ops is None:
+            ops = operation_counts(decomposition)
+        pattern_index_matrix = ctx.scratch.get("pattern_index_matrix")
+        if pattern_index_matrix is None:
+            pattern_index_matrix = decomposition.pattern_index_matrix()
         ctx.scratch.update(
             decomposition=decomposition,
-            breakdown=sparsity_breakdown(decomposition),
-            ops=operation_counts(decomposition),
+            breakdown=breakdown,
+            ops=ops,
             boundaries=boundaries,
             m_tiles=m_tiles,
             num_n_tiles=int(np.ceil(layer.n / arch.tile_n)),
-            pattern_index_matrix=decomposition.pattern_index_matrix(),
+            pattern_index_matrix=pattern_index_matrix,
         )
         return StageRecord(
             name=self.name,
@@ -112,12 +134,82 @@ class PhiTilingStage:
         )
 
 
+@dataclass
+class PreprocessPlan:
+    """Per-layer preprocessing work, planned ahead of execution.
+
+    Carries one :class:`~repro.hw.preprocessor.CompressedCounts` per
+    (M tile, partition) pair — M-tile-major, partition-minor, the exact
+    iteration order of :class:`PhiPreprocessStage` — plus the per-
+    partition pattern counts the matcher-comparison counter needs.
+    Planning is separated from execution so a batched caller
+    (:func:`simulate_phi_many`) can pack the jobs of many layers and
+    many configurations in a single lockstep pass.
+    """
+
+    m_tiles: list[tuple[int, int]]
+    num_partitions: int
+    pattern_counts: tuple[int, ...]
+    compressed: list[CompressedCounts]
+
+
+def plan_preprocess(
+    arch: ArchConfig,
+    calibration: LayerCalibration,
+    decomposition,
+    layer: LayerWorkload,
+) -> PreprocessPlan:
+    """Plan the preprocessor's compress/pack jobs for one layer.
+
+    The per-(M tile, partition) compressed counts are sliced out of one
+    whole-partition nonzero-count pass, bit-identical to running
+    :meth:`~repro.hw.preprocessor.Compressor.compress_counts` on every
+    tile slice (the row ids of a slice are tile-local either way).
+    """
+    boundaries = partition_boundaries(layer.k, arch.tile_k)
+    m_tiles = [
+        (m_start, min(m_start + arch.tile_m, layer.m))
+        for m_start in range(0, layer.m, arch.tile_m)
+    ]
+    nnz_per_row = [
+        np.count_nonzero(decomposition.tiles[p].level2, axis=1)
+        for p in range(len(boundaries))
+    ]
+    compressed: list[CompressedCounts] = []
+    for m_start, m_stop in m_tiles:
+        rows = m_stop - m_start
+        for p in range(len(boundaries)):
+            counts = nnz_per_row[p][m_start:m_stop]
+            kept = np.flatnonzero(counts)
+            compressed.append(
+                CompressedCounts(
+                    row_ids=kept,
+                    row_nonzeros=counts[kept],
+                    needs_psum=p > 0,
+                    cycles=rows,
+                    filtered_rows=rows - int(kept.size),
+                )
+            )
+    return PreprocessPlan(
+        m_tiles=m_tiles,
+        num_partitions=len(boundaries),
+        pattern_counts=tuple(
+            pattern_set.num_patterns for pattern_set in calibration.pattern_sets
+        ),
+        compressed=compressed,
+    )
+
+
 class PhiPreprocessStage:
     """Preprocessor pass: match, compress and pack every (M tile, partition).
 
     The preprocessor overlaps with the previous tile's compute, so its
     cycles are recorded (they burn energy) but never enter the layer's
-    critical path.
+    critical path.  All of a layer's (M tile, partition) pack machines
+    are independent, so they run as one batched lockstep pass
+    (:func:`~repro.hw.preprocessor.pack_counts_batch`); a cross-point
+    caller seeds an even wider batch via ``preprocess_plan`` /
+    ``preprocess_packed`` in the context scratch.
     """
 
     name = "preprocess"
@@ -127,29 +219,37 @@ class PhiPreprocessStage:
 
     def run(self, ctx: LayerContext) -> StageRecord:
         """Produce the per-M-tile pack counts and preprocessing counters."""
-        preprocessor = self.simulator.preprocessor
-        decomposition = ctx.scratch["decomposition"]
-        boundaries = ctx.scratch["boundaries"]
+        sim = self.simulator
+        plan = ctx.scratch.pop("preprocess_plan", None)
+        packed = ctx.scratch.pop("preprocess_packed", None)
+        if plan is None:
+            plan = plan_preprocess(
+                sim.arch, ctx.calibration, ctx.scratch["decomposition"], ctx.layer
+            )
+        if packed is None:
+            packer = sim.preprocessor.packer
+            packed = pack_counts_batch([(packer, c) for c in plan.compressed])
 
         packs_per_tile: list[PackCounts] = []
         preproc_cycles = 0.0
         match_comparisons = 0
         l2_nonzeros_total = 0
-        for m_start, m_stop in ctx.scratch["m_tiles"]:
+        job = 0
+        for m_start, m_stop in plan.m_tiles:
+            rows = m_stop - m_start
             tile_packs = EMPTY_PACK_COUNTS
             tile_preproc = 0.0
-            for p, _ in enumerate(boundaries):
-                sub_decomposition = decomposition.tiles[p].row_slice(m_start, m_stop)
-                result = preprocessor.process_tile_counts(
-                    sub_decomposition.original,
-                    ctx.calibration.pattern_sets[p],
-                    needs_psum=(p > 0),
-                    decomposition=sub_decomposition,
-                )
-                tile_packs = tile_packs.merge(result.packs)
-                tile_preproc += result.cycles
-                match_comparisons += result.comparisons
-                l2_nonzeros_total += result.total_nonzeros
+            for p in range(plan.num_partitions):
+                counts = packed[job]
+                job += 1
+                tile_packs = tile_packs.merge(counts)
+                # Matcher and compressor sustain one row per cycle and the
+                # packer one kept row per cycle; the pipelined cost of the
+                # tile is the max of the three (= its row count).
+                tile_preproc += max(rows, counts.cycles)
+                match_comparisons += rows * plan.pattern_counts[p]
+                # Every weight unit is one Level 2 correction.
+                l2_nonzeros_total += counts.weight_units
             packs_per_tile.append(tile_packs)
             preproc_cycles += tile_preproc
 
@@ -196,21 +296,19 @@ class PhiComputeStage:
         l2_cycles_total = 0.0
         neuron_cycles_total = 0.0
         per_tile_unique_rows = 0  # summed per-M-tile uniques (no cross-tile reuse)
-        for (m_start, m_stop), tile_packs in zip(
-            ctx.scratch["m_tiles"], ctx.scratch["packs_per_tile"]
-        ):
+        # One vectorized pack-accounting pass costs every tile's L2 side.
+        l2_cycles_per_tile = sim.l2.pack_cycles_for(ctx.scratch["packs_per_tile"])
+        for i, (m_start, m_stop) in enumerate(ctx.scratch["m_tiles"]):
             l1_result = sim.l1.process_tile(
                 pattern_index_matrix[m_start:m_stop],
                 num_patterns_per_partition=sim.phi_config.num_patterns,
                 output_width=sim.arch.tile_n,
             )
-            l2_result = sim.l2.process_pack_counts(
-                tile_packs, output_width=sim.arch.tile_n
-            )
-            tile_compute = max(l1_result.cycles, l2_result.cycles) * num_n_tiles
+            l2_cycles = int(l2_cycles_per_tile[i])
+            tile_compute = max(l1_result.cycles, l2_cycles) * num_n_tiles
             compute_cycles += tile_compute
             l1_cycles_total += l1_result.cycles * num_n_tiles
-            l2_cycles_total += l2_result.cycles * num_n_tiles
+            l2_cycles_total += l2_cycles * num_n_tiles
 
             neuron = sim.neuron_array.estimate(m_stop - m_start, layer.n)
             neuron_cycles_total += neuron.cycles
@@ -440,6 +538,16 @@ class PhiSimulator(AcceleratorModel):
         """
         if layer_calibration is None:
             layer_calibration = self._calibration_for(layer, None)
+        ctx = self._layer_context(layer, layer_calibration, decomposition)
+        return self.pipeline.run_layer(ctx)
+
+    def _layer_context(
+        self,
+        layer: LayerWorkload,
+        layer_calibration: LayerCalibration,
+        decomposition,
+    ) -> LayerContext:
+        """Validated :class:`LayerContext` for one layer simulation."""
         if layer_calibration.total_width != layer.k:
             raise ValueError(
                 f"calibration width {layer_calibration.total_width} does not match "
@@ -457,7 +565,7 @@ class PhiSimulator(AcceleratorModel):
                     f"({layer.m}, {layer.k})"
                 )
             ctx.scratch["decomposition"] = decomposition
-        return self.pipeline.run_layer(ctx)
+        return ctx
 
     def _layer_energy(self, sim: LayerResult) -> EnergyBreakdown:
         """Energy of one simulated layer from its activity counters."""
@@ -541,3 +649,147 @@ class PhiSimulator(AcceleratorModel):
         return self.run(
             workload, calibration=calibration, decompositions=decompositions
         )
+
+    def simulate_many(
+        self,
+        workloads: Sequence[ModelWorkload],
+        *,
+        calibrations: Sequence[ModelCalibration | None] | None = None,
+        decompositions: Sequence[Mapping | None] | None = None,
+        **kwargs,
+    ) -> list[RunResult]:
+        """Batched :meth:`simulate`: one stacked pass over many workloads.
+
+        Overrides the :class:`~repro.hw.pipeline.AcceleratorModel`
+        default loop: the compress/pack machines of *every* layer of
+        *every* workload are advanced in one NumPy lockstep batch (see
+        :func:`simulate_phi_many`), with per-workload results sliced
+        back out bit-identically to sequential :meth:`simulate` calls.
+
+        Parameters
+        ----------
+        workloads:
+            The workloads to simulate under this configuration.
+        calibrations, decompositions:
+            Optional per-workload counterparts of the :meth:`run`
+            keyword arguments (``None`` entries self-calibrate /
+            self-decompose exactly as :meth:`run` would).
+        """
+        if calibrations is None:
+            calibrations = [None] * len(workloads)
+        if decompositions is None:
+            decompositions = [None] * len(workloads)
+        return simulate_phi_many(
+            [
+                (self, workload, calibration, decomposition)
+                for workload, calibration, decomposition in zip(
+                    workloads, calibrations, decompositions
+                )
+            ]
+        )
+
+
+def simulate_phi_many(
+    tasks: Sequence[
+        tuple[
+            PhiSimulator,
+            ModelWorkload,
+            ModelCalibration | None,
+            Mapping | None,
+        ]
+    ],
+) -> list[RunResult]:
+    """Simulate many (simulator, workload) tasks as one stacked batch.
+
+    This is the cross-point batched execution path of the sweep engine:
+    the preprocessing jobs of every layer of every task — potentially
+    under *different* Phi/arch configurations — are planned first, packed
+    in a single lockstep batch (:func:`~repro.hw.preprocessor.
+    pack_counts_batch`), and the per-task pipelines then consume their
+    slice of the batch.  Results are bit-identical to calling
+    :meth:`PhiSimulator.run` per task, because every per-layer quantity
+    is computed by the same (deterministic) code on the same inputs —
+    only the loop structure changes (property-tested).
+
+    Work shared across tasks is computed once per distinct input rather
+    than once per task: layer decompositions (keyed by activation matrix,
+    calibration and partition width) and the density/op-count metrics
+    derived from them (keyed by decomposition identity).
+
+    Parameters
+    ----------
+    tasks:
+        ``(simulator, workload, calibration, decompositions)`` tuples —
+        the last two may be ``None``, matching :meth:`PhiSimulator.run`.
+
+    Returns
+    -------
+    list of RunResult
+        One result per task, in input order.
+    """
+    prepared = []  # (simulator, RunResult, [(ctx, job_start, job_stop)])
+    jobs: list[tuple] = []
+    # Decompositions shared across tasks (same workload instance, same
+    # calibration instance, same partition width) are computed once; the
+    # metrics derived from a decomposition are memoised by its identity,
+    # which also covers caller-provided shared decompositions.
+    decomposition_memo: dict[tuple, object] = {}
+    metrics_memo: dict[int, tuple] = {}
+    for simulator, workload, calibration, decompositions in tasks:
+        result = RunResult(
+            accelerator=simulator.name,
+            model_name=workload.model_name,
+            dataset_name=workload.dataset_name,
+            area_mm2=simulator.area_mm2,
+            config=simulator.arch,
+        )
+        decompositions = decompositions or {}
+        contexts = []
+        for layer in workload:
+            layer_calibration = simulator._calibration_for(layer, calibration)
+            decomposition = decompositions.get(layer.name)
+            if decomposition is None:
+                memo_key = (
+                    id(layer.activations),
+                    id(layer_calibration),
+                    simulator.arch.tile_k,
+                )
+                decomposition = decomposition_memo.get(memo_key)
+                if decomposition is None:
+                    decomposition = decompose_matrix(
+                        layer.activations,
+                        layer_calibration.pattern_sets,
+                        simulator.arch.tile_k,
+                    )
+                    decomposition_memo[memo_key] = decomposition
+            ctx = simulator._layer_context(layer, layer_calibration, decomposition)
+            metrics = metrics_memo.get(id(decomposition))
+            if metrics is None:
+                metrics = (
+                    sparsity_breakdown(decomposition),
+                    operation_counts(decomposition),
+                    decomposition.pattern_index_matrix(),
+                )
+                metrics_memo[id(decomposition)] = metrics
+            ctx.scratch["breakdown"] = metrics[0]
+            ctx.scratch["ops"] = metrics[1]
+            ctx.scratch["pattern_index_matrix"] = metrics[2]
+            plan = plan_preprocess(
+                simulator.arch, layer_calibration, decomposition, layer
+            )
+            ctx.scratch["preprocess_plan"] = plan
+            start = len(jobs)
+            packer = simulator.preprocessor.packer
+            jobs.extend((packer, compressed) for compressed in plan.compressed)
+            contexts.append((ctx, start, len(jobs)))
+        prepared.append((simulator, result, contexts))
+
+    packed = pack_counts_batch(jobs)
+
+    results = []
+    for simulator, result, contexts in prepared:
+        for ctx, start, stop in contexts:
+            ctx.scratch["preprocess_packed"] = packed[start:stop]
+            result.layers.append(simulator.pipeline.run_layer(ctx))
+        results.append(result)
+    return results

@@ -98,9 +98,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _report(engine: SweepEngine, elapsed: float) -> None:
     stats = engine.stats
+    store_line = ""
+    if engine.store is not None:
+        # Parent-process counts only: parallel workers keep their own
+        # store instances, so this understates hits under --jobs > 1.
+        store_line = (
+            f", {engine.store.hits} store hits, {engine.store.misses} store misses"
+        )
     print(
         f"\n{stats.requested} points, {stats.cache_hits} cache hits, "
-        f"{stats.executed} simulated, {elapsed:.2f}s wall-clock"
+        f"{stats.executed} simulated{store_line}, {elapsed:.2f}s wall-clock"
     )
 
 

@@ -41,8 +41,7 @@ from ..core.config import PhiConfig
 from ..core.metrics import (
     aggregate_breakdowns,
     aggregate_operation_counts,
-    operation_counts,
-    sparsity_breakdown,
+    decomposition_metrics,
 )
 from ..core.paft import ActivationAligner
 from ..core.sparsity import MatrixDecomposition
@@ -60,6 +59,7 @@ from .store import (
     ArtifactStore,
     DecompositionArtifact,
 )
+from .shm import SharedArtifacts, attach_and_prime
 
 #: Bump on ANY change that affects cached records — the record layout OR
 #: result-affecting simulator/calibration behaviour.  The package version
@@ -653,11 +653,11 @@ def _decomposition_record(point: SweepPoint) -> dict:
     breakdown_pairs = []
     counts = []
     for layer in workload:
-        decomposition = decompositions[layer.name]
-        breakdown_pairs.append(
-            (sparsity_breakdown(decomposition), layer.activations.size)
+        layer_counts, layer_breakdown = decomposition_metrics(
+            decompositions[layer.name]
         )
-        counts.append(operation_counts(decomposition))
+        breakdown_pairs.append((layer_breakdown, layer.activations.size))
+        counts.append(layer_counts)
     totals = aggregate_operation_counts(counts)
     breakdown = aggregate_breakdowns(breakdown_pairs)
     return {
@@ -683,6 +683,54 @@ def simulate_point(point: SweepPoint) -> dict:
     return record
 
 
+#: The unpatched :func:`simulate_point`, for detecting a stubbed seam.
+_REAL_SIMULATE_POINT = simulate_point
+
+
+def _finalize_record(point: SweepPoint, record: dict) -> dict:
+    record["accelerator"] = point.accelerator
+    record["model"] = point.workload.model
+    record["dataset"] = point.workload.dataset
+    return record
+
+
+def _simulate_phi_batch(points: Sequence[SweepPoint]) -> list[dict]:
+    """Execute a batch of phi-accelerator points as one stacked simulation.
+
+    Resolves each point's workload, calibration and decompositions (the
+    decomposition set of a ``(workload, PhiConfig)`` unit is resolved
+    once and shared across the unit's points, so e.g. a buffer-scaling
+    sweep rebuilds it once instead of once per point), then hands the
+    whole batch to :func:`repro.hw.simulator.simulate_phi_many`, which
+    packs every layer of every point in one lockstep pass.  Records are
+    bit-identical to per-point :func:`simulate_point` calls.
+    """
+    from ..hw.simulator import simulate_phi_many
+
+    tasks = []
+    decompositions_by_unit: dict[tuple, dict | None] = {}
+    for point in points:
+        workload = _resolve_workload(point)
+        model = model_for(point)
+        calibration = _stored_calibration(point.workload, point.phi, workload)
+        decompositions = None
+        if _current_store() is not None:
+            unit = _unit_key(point)
+            if unit in decompositions_by_unit:
+                decompositions = decompositions_by_unit[unit]
+            else:
+                decompositions = _stored_decompositions(
+                    point.workload, point.phi, workload, calibration
+                )
+                decompositions_by_unit[unit] = decompositions
+        tasks.append((model, workload, calibration, decompositions))
+    results = simulate_phi_many(tasks)
+    return [
+        _finalize_record(point, summarize_run(result))
+        for point, result in zip(points, results)
+    ]
+
+
 def simulate_many(points: Sequence[SweepPoint]) -> list[dict]:
     """Execute a batch of sweep points through one entry point.
 
@@ -692,6 +740,15 @@ def simulate_many(points: Sequence[SweepPoint]) -> list[dict]:
     ``(workload, PhiConfig)`` unit pays for it and every later point —
     in this batch, this process or any store-sharing worker — reuses it.
     This is the unit of work the engine submits to pool workers.
+
+    Phi-accelerator points additionally execute as *stacked batches*:
+    all of them (across every unit in the call) run through one
+    :func:`repro.hw.simulator.simulate_phi_many` invocation whose
+    lockstep packing spans points, layers and tiles, with records sliced
+    back out in input order, bit-identical to the per-point path.  When
+    the :func:`simulate_point` seam has been replaced (tests stub it to
+    observe or fake invocations), every point routes through the stub
+    instead — batching is an optimisation of the real path only.
 
     Parameters
     ----------
@@ -703,7 +760,33 @@ def simulate_many(points: Sequence[SweepPoint]) -> list[dict]:
     list of dict
         One v3 record per point, in input order.
     """
-    return [simulate_point(point) for point in points]
+    records: list[dict | None] = [None] * len(points)
+    phi_batch: list[int] = []
+    for i, point in enumerate(points):
+        if point.accelerator == "phi" and simulate_point is _REAL_SIMULATE_POINT:
+            phi_batch.append(i)
+        else:
+            records[i] = simulate_point(point)
+    if phi_batch:
+        batch_records = _simulate_phi_batch([points[i] for i in phi_batch])
+        for i, record in zip(phi_batch, batch_records):
+            records[i] = record
+    return records  # type: ignore[return-value]
+
+
+def _simulate_with_shared(
+    points: Sequence[SweepPoint], manifest: list
+) -> list[dict]:
+    """Pool task: prime shared-memory artifacts, then run the batch.
+
+    ``manifest`` names segments the parent exported after the unit's
+    representative stored its calibration/decomposition; attaching maps
+    the arrays zero-copy into this worker, so :func:`simulate_many`
+    serves them from the store memo without a disk read.  Attach
+    failures degrade to the plain disk path.
+    """
+    attach_and_prime(_current_store(), manifest)
+    return simulate_many(points)
 
 
 # --------------------------------------------------------------------- #
@@ -813,6 +896,22 @@ def _pending_units(
     return list(units.values())
 
 
+def _pending_spec_groups(
+    points: Sequence[SweepPoint], pending: dict[str, list[int]]
+) -> list[list[str]]:
+    """Group pending cache keys by workload spec, in input order.
+
+    The serial execution path dispatches one :func:`simulate_many` call
+    per *workload spec* (not per unit), so points that share a workload
+    but differ in PhiConfig — a pattern-count sweep, a buffer-scaling
+    sweep — land in one stacked cross-point batch.
+    """
+    groups: dict[WorkloadSpec, list[str]] = {}
+    for key, indices in pending.items():
+        groups.setdefault(points[indices[0]].workload, []).append(key)
+    return list(groups.values())
+
+
 @dataclass
 class SweepStats:
     """Accounting of one or more :meth:`SweepEngine.run` calls.
@@ -885,6 +984,9 @@ class SweepEngine:
         self.stats = SweepStats()
         self._warned_cache_unwritable = False
         self._pool: ProcessPoolExecutor | None = None
+        # Parent-side shared-memory segments for follower dispatch; all
+        # unlinked in close().
+        self._shared = SharedArtifacts()
         # run() is re-entrant across threads (the job service dispatches
         # concurrent jobs onto one engine): the lock guards stats, pool
         # lifecycle and the in-flight table; the table guarantees a point
@@ -921,11 +1023,12 @@ class SweepEngine:
             self._ensure_pool()
 
     def close(self) -> None:
-        """Shut down the warm worker pool (idempotent)."""
+        """Shut down the warm worker pool and shared memory (idempotent)."""
         with self._lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        self._shared.close()
 
     def __enter__(self) -> "SweepEngine":
         return self
@@ -1065,16 +1168,16 @@ class SweepEngine:
                     awaited[key] = ([i], entry)
 
             if pending:
-                units = _pending_units(points, pending)
                 if self.jobs == 1 or len(pending) == 1:
                     with _active_store(self.store):
-                        for keys in units:
+                        for keys in _pending_spec_groups(points, pending):
                             results = simulate_many(
                                 [points[pending[k][0]] for k in keys]
                             )
                             for key, record in zip(keys, results):
                                 settle(key, record)
                 else:
+                    units = _pending_units(points, pending)
                     self._run_parallel(points, pending, units, settle)
         except BaseException:
             # Owned keys that never settled must not strand waiters in
@@ -1121,8 +1224,11 @@ class SweepEngine:
             self._seed_workloads(points, pending)
         pool = self._ensure_pool()
 
-        def submit(key: str):
-            return pool.submit(simulate_many, [points[pending[key][0]]])
+        def submit(key: str, manifest: list | None = None):
+            batch = [points[pending[key][0]]]
+            if manifest:
+                return pool.submit(_simulate_with_shared, batch, manifest)
+            return pool.submit(simulate_many, batch)
 
         # Wave 1: one representative per unit.  Followers are held back
         # until the representative has stored the unit's artifacts.
@@ -1151,10 +1257,16 @@ class SweepEngine:
                 for future in finished:
                     key, followers = futures.pop(future)
                     settle(key, future.result()[0])
-                    for follower in followers:
-                        follow_up = submit(follower)
-                        futures[follow_up] = (follower, [])
-                        remaining.add(follow_up)
+                    if followers:
+                        # The representative has stored the unit's
+                        # calibration/decomposition; hand them to the
+                        # followers over shared memory (zero-copy, no
+                        # re-pickling) when possible.
+                        manifest = self._export_unit(points[pending[key][0]])
+                        for follower in followers:
+                            follow_up = submit(follower, manifest)
+                            futures[follow_up] = (follower, [])
+                            remaining.add(follow_up)
         except BaseException:
             # A failed or interrupted run must not leave its own queued
             # tasks running — but the pool is shared with concurrent
@@ -1163,6 +1275,25 @@ class SweepEngine:
             for future in remaining:
                 future.cancel()
             raise
+
+    def _export_unit(self, point: SweepPoint) -> list:
+        """Shared-memory manifest for ``point``'s unit artifacts.
+
+        Exports the unit's calibration and decomposition payloads (one
+        segment each, deduplicated across waves by store key) straight
+        from their on-disk container bytes.  Artifacts that never hit
+        the disk — unwritable store, representative failure — are simply
+        absent from the manifest and followers fall back to recompute.
+        """
+        if self.store is None or point.phi is None:
+            return []
+        payload = _artifact_payload(point.workload, point.phi)
+        manifest = []
+        for kind in (KIND_CALIBRATION, KIND_DECOMPOSITION):
+            entry = self._shared.export(self.store, kind, self.store.key(kind, payload))
+            if entry is not None:
+                manifest.append(entry)
+        return manifest
 
     def _seed_workloads(
         self, points: list[SweepPoint], pending: dict[str, list[int]]

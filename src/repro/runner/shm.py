@@ -1,0 +1,194 @@
+"""Shared-memory handoff of store artifacts to pool workers.
+
+In a parallel sweep the representative point of each ``(workload,
+PhiConfig)`` unit materialises the unit's calibration and decomposition
+into the artifact store; the unit's remaining points then run in pool
+workers that need the same artifacts.  Before this module they re-read
+them from disk (and historically re-decoded an ``.npz`` per worker).
+Now the parent copies each artifact's container payload — the exact
+bytes of the store file, see :mod:`repro.runner.store` — into one
+``multiprocessing.shared_memory`` segment and sends only the segment
+*name* with the follower task.  Workers attach, slice zero-copy views
+straight out of the shared pages, and prime their store memo, so large
+calibration/decomposition arrays cross the process boundary without
+ever being pickled or duplicated.
+
+Lifecycle: the parent (engine) owns every segment it exports and
+unlinks them all in :meth:`SharedArtifacts.close` (wired into
+``SweepEngine.close``); workers only map segments and drop their
+mappings when the worker process exits.  On Linux an unlinked segment's
+pages live until the last mapping closes, so unlink-after-dispatch is
+safe.  Every step degrades gracefully: export failures (no ``/dev/shm``
+space, platform without shared memory) fall back to the disk path, and
+attach failures in a worker fall back to its own store — shared memory
+is an accelerator, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Any
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+from .store import ArtifactStore, decode_artifact, unpack_arrays
+
+#: A manifest entry: (artifact kind, store key, shared-memory segment
+#: name).  Lists of these ride along with follower tasks; they pickle in
+#: a few bytes regardless of artifact size.
+ManifestEntry = tuple[str, str, str]
+
+
+class SharedArtifacts:
+    """Parent-side registry of exported artifact segments.
+
+    One instance per :class:`~repro.runner.engine.SweepEngine`; export
+    is keyed by store key, so a unit exported for one wave is reused by
+    every later follower of the same artifacts.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, "shared_memory.SharedMemory"] = {}
+        self._manifest: dict[str, ManifestEntry] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._warned = False
+
+    def export(self, store: ArtifactStore, kind: str, key: str) -> ManifestEntry | None:
+        """Copy the stored payload for ``key`` into a segment, once.
+
+        Returns the manifest entry, or ``None`` when the artifact is not
+        on disk (e.g. the representative ran against an unwritable
+        store) or shared memory is unavailable — callers simply omit the
+        entry and workers fall back to their own store.
+        """
+        with self._lock:
+            entry = self._manifest.get(key)
+        if entry is not None:
+            return entry
+        if shared_memory is None:
+            return None
+        payload = store.load_payload(key)
+        if payload is None or payload.size == 0:
+            return None
+        try:
+            with self._lock:
+                self._counter += 1
+                name = f"phiart-{os.getpid()}-{id(self) & 0xFFFFFF:x}-{self._counter}"
+            segment = shared_memory.SharedMemory(
+                create=True, size=payload.size, name=name
+            )
+        except (OSError, ValueError):
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    "shared-memory export unavailable; parallel workers "
+                    "will read artifacts from the store instead",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
+        try:
+            np.frombuffer(segment.buf, dtype=np.uint8)[: payload.size] = payload
+        except BaseException:
+            segment.close()
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+            raise
+        entry = (kind, key, segment.name)
+        with self._lock:
+            raced = self._manifest.get(key)
+            if raced is not None:
+                # Another thread exported the same key first; keep theirs.
+                segment.close()
+                try:
+                    segment.unlink()
+                except OSError:
+                    pass
+                return raced
+            self._segments[key] = segment
+            self._manifest[key] = entry
+        return entry
+
+    def close(self) -> None:
+        """Unlink every exported segment (idempotent).
+
+        Workers that still map a segment keep using their pages; the
+        names just disappear, so nothing leaks past the engine.
+        """
+        with self._lock:
+            segments, self._segments = self._segments, {}
+            self._manifest.clear()
+        for segment in segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+
+#: Worker-side mappings, kept for the worker's lifetime: the primed
+#: artifacts in the store memo alias these buffers, so the mapping must
+#: outlive them.  Unlinked by the parent, released when the worker exits.
+_ATTACHED: dict[str, "shared_memory.SharedMemory"] = {}
+
+
+def attach_and_prime(store: ArtifactStore | None, manifest: list[ManifestEntry]) -> int:
+    """Map each manifest segment and prime the store memo (worker side).
+
+    Returns the number of artifacts primed.  Any failure — the segment
+    is gone, the payload is malformed — skips that entry; the worker's
+    store serves it from disk instead.
+    """
+    if store is None or shared_memory is None or not manifest:
+        return 0
+    primed = 0
+    for kind, key, segment_name in manifest:
+        if segment_name in _ATTACHED:
+            primed += 1
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=segment_name)
+        except (OSError, ValueError):
+            continue
+        # Attaching registers the segment with the resource tracker on
+        # this Python version, which would try to unlink it again at
+        # worker exit (the parent owns unlinking).  Deregister the
+        # borrowed mapping.
+        if resource_tracker is not None:
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+        try:
+            payload = np.frombuffer(segment.buf, dtype=np.uint8)
+            views = unpack_arrays(payload)
+            for view in views.values():
+                view.flags.writeable = False
+            artifact = decode_artifact(kind, views)
+        except Exception:
+            segment.close()
+            continue
+        _ATTACHED[segment_name] = segment
+        store.prime(key, artifact)
+        primed += 1
+    return primed
+
+
+def live_segments() -> list[str]:
+    """Names of this process's currently mapped borrowed segments."""
+    return sorted(_ATTACHED)

@@ -9,7 +9,7 @@ the package version and a store schema version), so they are computed
 once per configuration *ever*: parallel workers, later runs and other
 experiments all load the stored artifact instead of re-deriving it.
 
-Storage is one ``.npz`` file per artifact, fanned out over two-hex-digit
+Storage is one file per artifact, fanned out over two-hex-digit
 subdirectories like the result cache, written atomically (temp file +
 ``os.replace``) so concurrent writers can never corrupt an entry and a
 killed worker can never leave a half-written file behind.  Concurrent
@@ -17,7 +17,16 @@ writers of the same key compute identical content — whichever replace
 lands last wins, harmlessly.  A corrupt or unreadable file is treated as
 a miss and recomputed, mirroring the result cache's semantics.
 
-Array payloads round-trip bit-exactly through ``.npz``, so a loaded
+The file itself is a plain ``.npy`` holding one ``uint8`` vector: a
+small JSON directory followed by each payload array's raw bytes at
+64-byte-aligned offsets (see :func:`pack_arrays`).  Reads go through
+``np.load(path, mmap_mode="r")``, so loading an artifact maps the file
+once and slices every array out as a *read-only, zero-copy view* — no
+decompression, no per-array header parsing, no heap copies.  The same
+container doubles as the wire format for the engine's shared-memory
+worker handoff (see :mod:`repro.runner.shm`).
+
+Array payloads round-trip bit-exactly through the container, so a loaded
 artifact is indistinguishable from a freshly computed one; the golden
 regression suite and the report manifest check pin this.
 """
@@ -45,7 +54,9 @@ from .cache import cache_key
 #: computations they capture (workload generation, calibration,
 #: decomposition).  The package version is hashed into every key too, so
 #: releases invalidate the store even when this stays constant.
-STORE_SCHEMA_VERSION = 1
+#: v2: mmap-friendly single-``.npy`` container replaced the ``.npz``
+#: archive.
+STORE_SCHEMA_VERSION = 2
 
 #: Artifact kinds the store recognises (part of every key payload).
 KIND_WORKLOAD = "workload"
@@ -69,7 +80,124 @@ def default_store_dir() -> pathlib.Path:
 
 
 # --------------------------------------------------------------------- #
-# npz codecs (one pair per artifact kind)
+# The zero-copy array container
+# --------------------------------------------------------------------- #
+#: Leading bytes of every container payload; a mismatch means the file
+#: (or shared-memory segment) does not hold a v2 artifact.
+CONTAINER_MAGIC = b"PHIART02"
+
+#: Alignment of every array block inside the container.  The ``.npy``
+#: format itself aligns its data section to 64 bytes and shared-memory
+#: segments are page-aligned, so block offsets that are multiples of 64
+#: guarantee naturally aligned typed views.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def pack_arrays(
+    arrays: Mapping[str, np.ndarray],
+) -> tuple[bytes, list[np.ndarray], int]:
+    """Lay out named arrays as a container prefix plus data blocks.
+
+    Returns the serialized prefix (magic, directory length, JSON
+    directory, padding to the first block offset), the C-contiguous
+    arrays in directory order, and the total payload size.  Writing the
+    prefix followed by each block's raw bytes — zero-padded up to the
+    next 64-byte boundary between blocks — produces a complete payload.
+
+    The directory records each block's absolute offset, and offsets
+    shift the directory's own JSON length, so the layout is solved to a
+    fixpoint (it converges in two or three passes: offsets only grow
+    with digit count, which stabilises immediately).
+    """
+    blocks: list[np.ndarray] = []
+    entries: list[dict[str, Any]] = []
+    for name, array in arrays.items():
+        block = np.ascontiguousarray(array)
+        blocks.append(block)
+        entries.append(
+            {
+                "name": name,
+                "dtype": np.lib.format.dtype_to_descr(block.dtype),
+                "shape": list(block.shape),
+                "nbytes": int(block.nbytes),
+                "offset": 0,
+            }
+        )
+    head = len(CONTAINER_MAGIC) + 8
+    while True:
+        directory = json.dumps({"arrays": entries}).encode("utf-8")
+        offset = _aligned(head + len(directory))
+        changed = False
+        for entry in entries:
+            if entry["offset"] != offset:
+                entry["offset"] = offset
+                changed = True
+            offset = _aligned(offset + entry["nbytes"])
+        if not changed:
+            break
+    data_start = _aligned(head + len(directory))
+    total = entries[-1]["offset"] + entries[-1]["nbytes"] if entries else data_start
+    prefix = CONTAINER_MAGIC + len(directory).to_bytes(8, "little") + directory
+    prefix += b"\0" * (data_start - len(prefix))
+    return prefix, blocks, total
+
+
+def write_packed(handle, prefix: bytes, blocks: list[np.ndarray]) -> int:
+    """Stream a :func:`pack_arrays` layout into ``handle``.
+
+    Writes sequentially (no full-payload buffer); returns the number of
+    bytes written, which equals the layout's total payload size.
+    """
+    handle.write(prefix)
+    written = len(prefix)
+    for block in blocks:
+        pad = _aligned(written) - written
+        if pad:
+            handle.write(b"\0" * pad)
+            written += pad
+        if block.nbytes:
+            handle.write(memoryview(block).cast("B"))
+            written += block.nbytes
+    return written
+
+
+def unpack_arrays(payload: np.ndarray) -> dict[str, np.ndarray]:
+    """Zero-copy views of every array in a container ``payload``.
+
+    ``payload`` is the container as a 1-D ``uint8`` array — typically a
+    read-only memmap from ``np.load(..., mmap_mode="r")`` or a view of a
+    shared-memory buffer.  The returned arrays alias the payload's
+    storage (no copies); they inherit its writability, so memmap-backed
+    artifacts are naturally read-only.
+
+    Raises ``ValueError`` on any malformed container.
+    """
+    if payload.ndim != 1 or payload.dtype != np.uint8:
+        raise ValueError("container payload must be a 1-D uint8 array")
+    head = len(CONTAINER_MAGIC)
+    if payload[:head].tobytes() != CONTAINER_MAGIC:
+        raise ValueError("bad container magic")
+    length = int.from_bytes(payload[head : head + 8].tobytes(), "little")
+    if length < 0 or head + 8 + length > payload.size:
+        raise ValueError("container directory out of bounds")
+    directory = json.loads(payload[head + 8 : head + 8 + length].tobytes())
+    arrays: dict[str, np.ndarray] = {}
+    for entry in directory["arrays"]:
+        dtype = np.dtype(entry["dtype"])
+        offset, nbytes = entry["offset"], entry["nbytes"]
+        if offset + nbytes > payload.size:
+            raise ValueError("array block out of bounds")
+        flat = payload[offset : offset + nbytes].view(dtype)
+        arrays[entry["name"]] = flat.reshape(entry["shape"])
+    return arrays
+
+
+# --------------------------------------------------------------------- #
+# Artifact codecs (one pair per artifact kind)
 # --------------------------------------------------------------------- #
 def _encode_workload(workload: ModelWorkload) -> dict[str, np.ndarray]:
     meta = {
@@ -145,17 +273,24 @@ def _decode_calibration(arrays: Mapping[str, np.ndarray]) -> ModelCalibration:
 
 
 def _encode_decompositions(
-    decompositions: Mapping[str, MatrixDecomposition],
+    decompositions: "Mapping[str, MatrixDecomposition] | DecompositionArtifact",
 ) -> dict[str, np.ndarray]:
     # Only the per-row pattern assignments are stored: the Level 2 matrix
     # and the original tiles are deterministic functions of (activations,
     # patterns, assignments) and are rebuilt bit-exactly on load by
     # :func:`repro.core.sparsity.rebuild_decomposition`.
+    if isinstance(decompositions, DecompositionArtifact):
+        items = list(decompositions.assignments.items())
+    else:
+        items = [
+            (name, decomposition.pattern_index_matrix())
+            for name, decomposition in decompositions.items()
+        ]
     layers = []
     arrays: dict[str, np.ndarray] = {}
-    for i, (name, decomposition) in enumerate(decompositions.items()):
+    for i, (name, matrix) in enumerate(items):
         layers.append({"name": name})
-        arrays[f"i{i}"] = decomposition.pattern_index_matrix()
+        arrays[f"i{i}"] = matrix
     arrays["meta"] = np.frombuffer(
         json.dumps({"layers": layers}).encode("utf-8"), dtype=np.uint8
     )
@@ -203,6 +338,15 @@ _CODECS: dict[str, tuple[Callable, Callable]] = {
 }
 
 
+def decode_artifact(kind: str, arrays: Mapping[str, np.ndarray]) -> Any:
+    """Decode a container's arrays into an artifact of ``kind``.
+
+    Shared with :mod:`repro.runner.shm`, whose segments carry the same
+    container payload as the on-disk files.
+    """
+    return _CODECS[kind][1](arrays)
+
+
 def _artifact_nbytes(artifact: Any) -> int:
     """Estimated array payload of a memoised artifact, in bytes."""
     if isinstance(artifact, ModelWorkload):
@@ -224,7 +368,7 @@ def _artifact_nbytes(artifact: Any) -> int:
 # The store
 # --------------------------------------------------------------------- #
 class ArtifactStore:
-    """A directory of content-addressed ``.npz`` artifacts with a memo.
+    """A directory of content-addressed, mmap-readable artifacts.
 
     Parameters
     ----------
@@ -234,16 +378,26 @@ class ArtifactStore:
 
     Notes
     -----
+    Reads are zero-copy: ``get`` maps the artifact file with
+    ``np.load(path, mmap_mode="r")`` and returns an artifact whose
+    arrays are read-only views of the mapping — bytes are paged in on
+    first touch and shared between every process that maps the same
+    file.  Callers must treat loaded artifacts as read-only, which
+    every consumer of workloads and calibrations already does (the
+    views enforce it: writes raise).
+
     Loaded and stored artifacts are additionally memoised in-process (one
     dict per store instance, keyed by content hash), so repeated ``get``
-    calls within a worker never re-read or re-decode the file.  The memo
+    calls within a worker never re-open or re-decode the file.  The memo
     is bounded twice over — by entry count (``memo_entries``) and by
     estimated array bytes (``memo_budget_bytes``, which matters for
     long-lived services whose workload artifacts can each hold tens of
     MB of activations) — with FIFO eviction, and decomposition entries
-    are memoised in their slim assignment-only form.  The memo holds the
-    decoded objects themselves; callers must treat them as read-only,
-    which every consumer of workloads and calibrations already does.
+    are memoised in their slim assignment-only form.
+
+    ``hits`` / ``misses`` count ``get`` outcomes (memo and disk hits
+    both count as hits) and surface in the runner's stats line and the
+    bench trajectory as ``store_hits`` / ``store_misses``.
     """
 
     #: Maximum number of memoised artifacts per store instance.
@@ -261,6 +415,8 @@ class ArtifactStore:
         # eviction scan coherent under that concurrency.
         self._memo_lock = threading.Lock()
         self._warned_unwritable = False
+        self.hits = 0
+        self.misses = 0
 
     def _memoise(self, key: str, artifact: Any) -> None:
         size = _artifact_nbytes(artifact)
@@ -305,26 +461,71 @@ class ArtifactStore:
 
     def path_for(self, key: str) -> pathlib.Path:
         """File that stores (or would store) the artifact for ``key``."""
-        return self.root / key[:2] / f"{key}.npz"
+        return self.root / key[:2] / f"{key}.npy"
 
     # ------------------------------------------------------------------ #
+    def _count(self, field: str) -> None:
+        with self._memo_lock:
+            setattr(self, field, getattr(self, field) + 1)
+
+    def load_payload(self, key: str) -> np.ndarray | None:
+        """The raw container payload for ``key`` as a read-only memmap.
+
+        ``None`` on miss or corruption.  Used by the shared-memory
+        exporter, which copies the payload bytes into a segment without
+        ever decoding them.
+        """
+        try:
+            payload = np.load(self.path_for(key), mmap_mode="r")
+        except (OSError, ValueError, EOFError):
+            return None
+        if (
+            not isinstance(payload, np.ndarray)
+            or payload.ndim != 1
+            or payload.dtype != np.uint8
+        ):
+            return None
+        return payload
+
     def get(self, kind: str, key: str) -> Any | None:
         """The stored artifact for ``key``, or ``None`` on miss.
 
         A corrupt or unreadable file counts as a miss: callers recompute
-        and overwrite rather than fail.
+        and overwrite rather than fail.  Array payloads of a disk hit
+        are read-only zero-copy views of the mapped file.
         """
         memoised = self._memoised(key)
         if memoised is not None:
+            self._count("hits")
             return memoised
-        path = self.path_for(key)
-        try:
-            with np.load(path) as data:
-                artifact = _CODECS[kind][1](data)
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
-            return None
+        payload = self.load_payload(key)
+        if payload is not None:
+            try:
+                artifact = _CODECS[kind][1](unpack_arrays(payload))
+            except (ValueError, KeyError, json.JSONDecodeError):
+                payload = None
+            else:
+                self._count("hits")
+                self._memoise(key, artifact)
+                return artifact
+        self._count("misses")
+        return None
+
+    def prime(self, key: str, artifact: Any) -> None:
+        """Install ``artifact`` in the in-process memo without touching disk.
+
+        Used by pool workers that received the artifact over shared
+        memory: later ``get`` calls for ``key`` hit the memo, so the
+        worker never re-reads or re-derives it.  Decomposition mappings
+        are primed in their slim assignment-only form, mirroring ``put``.
+        """
+        if key in self._memo:
+            return
+        if isinstance(artifact, Mapping) and artifact and not isinstance(
+            artifact, (ModelWorkload, ModelCalibration, DecompositionArtifact)
+        ):
+            artifact = _decode_decompositions(_encode_decompositions(artifact))
         self._memoise(key, artifact)
-        return artifact
 
     def put(self, kind: str, key: str, artifact: Any) -> None:
         """Atomically persist ``artifact`` under ``key`` (and memoise it).
@@ -354,9 +555,20 @@ class ArtifactStore:
             )
             with os.fdopen(fd, "wb") as handle:
                 # Stream straight to the temp file: buffering the whole
-                # archive in memory first would double large workloads'
-                # footprint per concurrent put.
-                np.savez(handle, **arrays)
+                # container in memory first would double large workloads'
+                # footprint per concurrent put.  The outer ``.npy``
+                # header needs the payload length up front, which
+                # ``pack_arrays``'s directory provides exactly.
+                prefix, blocks, size = pack_arrays(arrays)
+                np.lib.format.write_array_header_1_0(
+                    handle,
+                    {"descr": "|u1", "fortran_order": False, "shape": (size,)},
+                )
+                written = write_packed(handle, prefix, blocks)
+                if written != size:
+                    raise ValueError(
+                        f"container size mismatch: wrote {written}, declared {size}"
+                    )
             os.replace(tmp_name, path)
         except BaseException as error:
             if tmp_name is not None:
@@ -383,7 +595,7 @@ class ArtifactStore:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.npz"))
+        return sum(1 for _ in self.root.glob("*/*.npy"))
 
     def clear(self) -> int:
         """Delete every stored artifact; returns the number removed."""
@@ -393,7 +605,7 @@ class ArtifactStore:
         removed = 0
         if not self.root.exists():
             return removed
-        for path in self.root.glob("*/*.npz"):
+        for path in self.root.glob("*/*.npy"):
             try:
                 path.unlink()
                 removed += 1

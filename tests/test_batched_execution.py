@@ -1,0 +1,221 @@
+"""Batched cross-point execution and the shared-memory handoff path.
+
+Property tests pin the tentpole's bit-exactness contract: the stacked
+cross-point :func:`repro.runner.engine.simulate_many` path and the
+vectorized L2 pack accounting must be *byte-identical* to the
+per-point / per-tile reference paths they replace.  Functional tests
+exercise the ``--jobs 4`` shared-memory handoff end to end — records
+equal to a serial run, every segment unlinked at engine shutdown — and
+the graceful-degradation contracts of :mod:`repro.runner.shm`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.common import TINY
+from repro.hw.config import ArchConfig
+from repro.hw.l2_processor import L2Processor
+from repro.hw.preprocessor import PackCounts
+from repro.runner import (
+    ArtifactStore,
+    ResultCache,
+    SweepEngine,
+    SweepPoint,
+    WorkloadSpec,
+)
+from repro.runner import engine as engine_module
+from repro.runner.shm import SharedArtifacts, attach_and_prime, live_segments
+from repro.runner.store import KIND_CALIBRATION, KIND_DECOMPOSITION
+
+
+# --------------------------------------------------------------------- #
+# Vectorized L2 pack accounting == scalar reference
+# --------------------------------------------------------------------- #
+
+pack_counts_lists = st.lists(
+    st.builds(
+        PackCounts,
+        num_packs=st.integers(0, 400),
+        weight_units=st.integers(0, 4000),
+        psum_units=st.integers(0, 400),
+        cycles=st.integers(0, 500),
+        evictions=st.integers(0, 50),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(counts_list=pack_counts_lists)
+def test_pack_cycles_for_matches_scalar_path(counts_list):
+    """``pack_cycles_for`` element i == ``process_pack_counts(i).cycles``."""
+    processor = L2Processor(ArchConfig())
+    batched = processor.pack_cycles_for(counts_list)
+    expected = [processor.process_pack_counts(c).cycles for c in counts_list]
+    assert batched.dtype == np.int64
+    assert batched.shape == (len(counts_list),)
+    assert batched.tolist() == expected
+
+
+# --------------------------------------------------------------------- #
+# Stacked cross-point simulate_many == per-point simulate_point
+# --------------------------------------------------------------------- #
+
+
+def _record_bytes(record: dict) -> bytes:
+    """The canonical byte serialisation the result cache writes."""
+    return json.dumps(record, sort_keys=True).encode()
+
+
+phi_grids = st.lists(
+    st.tuples(
+        st.sampled_from([2, 4, 8]),  # num_patterns (q)
+        st.sampled_from([0, 1]),  # workload seed
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(grid=phi_grids)
+def test_stacked_simulate_many_is_byte_identical_to_per_point(grid):
+    """Cross-point stacking never changes a single record byte.
+
+    Points are drawn over a randomized (num_patterns, workload-seed)
+    grid — duplicates are allowed and valuable, because same-unit points
+    exercise the decomposition-sharing path while distinct units
+    exercise the per-spec stacking groups.
+    """
+    points = [
+        SweepPoint(
+            workload=WorkloadSpec.random(0.3, m=64, k=32, n=8, seed=seed),
+            arch=TINY.arch_config(num_patterns=q),
+            phi=TINY.phi_config(num_patterns=q),
+        )
+        for q, seed in grid
+    ]
+    stacked = engine_module.simulate_many(points)
+    reference = [engine_module.simulate_point(point) for point in points]
+    assert [_record_bytes(r) for r in stacked] == [
+        _record_bytes(r) for r in reference
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory handoff (--jobs 4)
+# --------------------------------------------------------------------- #
+
+
+def shared_unit_points(num: int = 3) -> list[SweepPoint]:
+    """Points of ONE (workload, PhiConfig) unit: same artifacts, varied arch."""
+    spec = WorkloadSpec.random(0.3, m=64, k=32, n=8)
+    phi = TINY.phi_config()
+    return [
+        SweepPoint(
+            workload=spec,
+            arch=TINY.arch_config(frequency_mhz=500.0 + 100.0 * i),
+            phi=phi,
+        )
+        for i in range(num)
+    ]
+
+
+def _own_dev_shm_segments() -> list[str]:
+    """Names of /dev/shm segments exported by THIS process's engines."""
+    root = pathlib.Path("/dev/shm")
+    if not root.exists():  # pragma: no cover - non-Linux fallback
+        return []
+    return sorted(p.name for p in root.glob(f"*phiart-{os.getpid()}-*"))
+
+
+class TestSharedMemoryHandoff:
+    def test_jobs4_matches_serial_and_leaks_no_segments(self, tmp_path):
+        """Follower records ride shared memory yet match the serial run."""
+        points = shared_unit_points(3)
+        with SweepEngine(
+            cache=ResultCache(tmp_path / "serial"),
+            store=ArtifactStore(tmp_path / "serial-store"),
+            jobs=1,
+        ) as engine:
+            serial = engine.run(points)
+
+        with SweepEngine(
+            cache=ResultCache(tmp_path / "parallel"),
+            store=ArtifactStore(tmp_path / "parallel-store"),
+            jobs=4,
+        ) as engine:
+            parallel = engine.run(points)
+            # One unit with two followers: its calibration and its
+            # decomposition set were exported exactly once each.
+            assert len(engine._shared) == 2
+        assert parallel == serial
+        assert len(engine._shared) == 0, "close() must unlink every segment"
+        assert _own_dev_shm_segments() == []
+
+    def test_export_attach_roundtrip_primes_the_memo(self, tmp_path):
+        """An attached segment serves the artifact without a disk read."""
+        point = shared_unit_points(1)[0]
+        store = ArtifactStore(tmp_path)
+        with SweepEngine(store=store, jobs=1) as engine:
+            engine.run([point])
+
+        shared = SharedArtifacts()
+        payload = engine_module._artifact_payload(point.workload, point.phi)
+        manifest = []
+        for kind in (KIND_CALIBRATION, KIND_DECOMPOSITION):
+            entry = shared.export(store, kind, store.key(kind, payload))
+            assert entry is not None
+            manifest.append(entry)
+        try:
+            # A fresh, empty store directory: only the primed memo can
+            # serve, so a successful get proves the shared pages did.
+            fresh = ArtifactStore(tmp_path / "empty")
+            assert attach_and_prime(fresh, manifest) == 2
+            assert set(live_segments()) >= {entry[2] for entry in manifest}
+            for kind, key, _name in manifest:
+                assert fresh.get(kind, key) is not None
+            assert fresh.hits == 2
+            assert fresh.misses == 0
+        finally:
+            shared.close()
+        assert len(shared) == 0
+
+    def test_export_returns_same_entry_per_key(self, tmp_path):
+        point = shared_unit_points(1)[0]
+        store = ArtifactStore(tmp_path)
+        with SweepEngine(store=store, jobs=1) as engine:
+            engine.run([point])
+        shared = SharedArtifacts()
+        payload = engine_module._artifact_payload(point.workload, point.phi)
+        key = store.key(KIND_CALIBRATION, payload)
+        try:
+            first = shared.export(store, KIND_CALIBRATION, key)
+            second = shared.export(store, KIND_CALIBRATION, key)
+            assert first is not None and first == second
+            assert len(shared) == 1
+        finally:
+            shared.close()
+
+    def test_attach_missing_segment_degrades_to_disk(self, tmp_path):
+        """A dead segment name is skipped; the store still serves it."""
+        store = ArtifactStore(tmp_path)
+        manifest = [(KIND_CALIBRATION, "00" * 32, "phiart-gone-segment")]
+        assert attach_and_prime(store, manifest) == 0
+        assert attach_and_prime(None, manifest) == 0
+        assert attach_and_prime(store, []) == 0
+
+    def test_export_unknown_key_returns_none(self, tmp_path):
+        shared = SharedArtifacts()
+        try:
+            assert shared.export(ArtifactStore(tmp_path), KIND_CALIBRATION, "ff" * 32) is None
+        finally:
+            shared.close()

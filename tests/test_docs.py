@@ -39,6 +39,22 @@ def test_design_scale_table_is_generated_from_code():
     )
 
 
+def test_readme_perf_table_is_generated_from_trajectory():
+    """The README perf table must match perf_markdown_table() exactly."""
+    from repro.bench.cli import perf_markdown_table
+
+    text = (ROOT / "README.md").read_text()
+    begin = text.index("<!-- perf-table:begin -->")
+    end = text.index("<!-- perf-table:end -->")
+    embedded = text[begin:end].splitlines()[1:]
+    embedded = "\n".join(line for line in embedded if line.strip())
+    assert embedded == perf_markdown_table(ROOT / "BENCH_sweep.json"), (
+        "README perf table out of date; paste the output of "
+        "repro.bench.cli.perf_markdown_table('BENCH_sweep.json') between "
+        "the perf-table markers"
+    )
+
+
 def test_readme_covers_every_registered_experiment():
     text = (ROOT / "README.md").read_text()
     for name in experiment_names():
