@@ -13,6 +13,7 @@ parallel_cold   fresh         fresh         N
 warm_store      fresh         kept          1
 fully_warm      kept          kept          1
 service_warm    kept          kept          1
+fleet_warm      fresh         kept          1
 ==============  ============  ============  ====
 
 ``warm_store`` is the headline scenario of the artifact store: every
@@ -25,6 +26,14 @@ subprocess owns the warm engine and the measurement is one client
 end-to-end round trip — submit the experiment as a job, wait for it,
 fetch every raw record — so the delta over ``fully_warm`` is the HTTP +
 job-model overhead of sweep-as-a-service.
+
+``fleet_warm`` measures the durable fabric: the served engine plus one
+``python -m repro.service worker`` subprocess, with the result cache
+wiped so every point actually simulates — on the worker, whose records
+stream back through the lease/ingest protocol.  The delta over
+``warm_store`` is the full remote-execution round trip (lease grants,
+heartbeats, HTTP ingest, sqlite journaling) for a sweep of the same
+computational cost.
 
 Examples
 --------
@@ -71,6 +80,7 @@ SCENARIOS = (
     "warm_store",
     "fully_warm",
     "service_warm",
+    "fleet_warm",
 )
 
 #: Default trajectory file, kept at the repository root.
@@ -187,15 +197,18 @@ def run_scenario(
     if scenario in ("serial_cold", "parallel_cold"):
         shutil.rmtree(cache_dir, ignore_errors=True)
         shutil.rmtree(store_dir, ignore_errors=True)
-    elif scenario == "warm_store":
+    elif scenario in ("warm_store", "fleet_warm"):
+        # A wiped result cache is what forces real simulations — for
+        # fleet_warm, on the remote worker rather than in the server.
         shutil.rmtree(cache_dir, ignore_errors=True)
 
-    if scenario == "service_warm":
+    if scenario in ("service_warm", "fleet_warm"):
         return _run_service_scenario(
             experiment=experiment,
             scale=scale,
             cache_dir=cache_dir,
             store_dir=store_dir,
+            fleet=scenario == "fleet_warm",
         )
 
     scenario_jobs = jobs if scenario == "parallel_cold" else 1
@@ -238,30 +251,60 @@ def run_scenario(
     )
 
 
+def _await_line(
+    process: subprocess.Popen, prefix: str, command: list[str], *, timeout: float = 120
+) -> str:
+    """Block until ``process`` prints a line starting with ``prefix``.
+
+    readline() has no timeout of its own; a watchdog thread bounds a
+    hung startup so CI fails fast instead of hitting job limits.
+    """
+    first_line: list[str] = []
+    reader = threading.Thread(
+        target=lambda: first_line.append(process.stdout.readline()), daemon=True
+    )
+    reader.start()
+    reader.join(timeout=timeout)
+    line = first_line[0].strip() if first_line else ""
+    if not line.startswith(prefix):
+        process.kill()
+        tail = line + (process.stdout.read() or "")
+        raise RuntimeError(f"subprocess never ready ({' '.join(command)}):\n{tail}")
+    return line
+
+
 def _run_service_scenario(
     *,
     experiment: str,
     scale: str,
     cache_dir: pathlib.Path,
     store_dir: pathlib.Path,
+    fleet: bool = False,
 ) -> BenchResult:
-    """Time one client round trip against a freshly served warm engine.
+    """Time one client round trip against a served engine.
 
     Boots ``python -m repro.service serve --port 0`` as a subprocess on
-    the (warm) scenario directories, waits for its "serving on" line,
-    then measures submit → wait → fetch-all-records from this process.
+    the scenario directories, waits for its "serving on" line, then
+    measures submit → wait → fetch-all-records from this process.
     Server boot time is excluded on purpose: the service is long-lived,
     the per-request path is what the trajectory tracks.
 
     The server runs with the production-hardening surface *enabled*
-    (bearer-token auth + JSONL audit log), so the measured round trip —
-    and the CI gate on it — includes the per-request cost of auth
-    checking and audit writes, not an artificially bare server.
+    (bearer-token auth + JSONL audit log + sqlite journal), so the
+    measured round trip — and the CI gate on it — includes the
+    per-request cost of auth checking, audit writes and journaling, not
+    an artificially bare server.
+
+    With ``fleet=True`` (the ``fleet_warm`` scenario) one ``python -m
+    repro.service worker`` subprocess joins the server first, and the
+    wiped result cache forces every simulation onto that worker — the
+    measurement is the full lease/ingest round trip.
     """
     from .. import __version__
     from ..service.client import ServiceClient
 
     token = "bench-service-token"
+    scenario = "fleet_warm" if fleet else "service_warm"
     command = [
         sys.executable,
         "-m",
@@ -286,26 +329,43 @@ def _run_service_scenario(
         text=True,
         env=os.environ.copy(),
     )
+    worker = None
     try:
-        # readline() has no timeout of its own; a watchdog thread bounds
-        # a hung startup so CI fails fast instead of hitting job limits.
-        first_line: list[str] = []
-        reader = threading.Thread(
-            target=lambda: first_line.append(process.stdout.readline()), daemon=True
-        )
-        reader.start()
-        reader.join(timeout=120)
-        line = first_line[0].strip() if first_line else ""
-        if not line.startswith("serving on "):
-            process.kill()
-            tail = line + (process.stdout.read() or "")
-            raise RuntimeError(f"service failed to start ({' '.join(command)}):\n{tail}")
-        client = ServiceClient(line.split()[-1], token=token)
+        line = _await_line(process, "serving on ", command)
+        url = line.split()[-1]
+        if fleet:
+            worker_command = [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "worker",
+                "--server",
+                url,
+                "--store-dir",
+                str(store_dir),
+                "--token",
+                token,
+                "--poll",
+                "0.1",
+                "--quiet",
+            ]
+            worker = subprocess.Popen(
+                worker_command,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=os.environ.copy(),
+            )
+            _await_line(worker, "worker ", worker_command)
+        client = ServiceClient(url, token=token)
         start = time.perf_counter()
         job = client.run(experiment, scale=scale, timeout=600.0)
         client.records_for(job)
         wall = time.perf_counter() - start
         progress = job["progress"]
+        if worker is not None:
+            worker.terminate()
+            worker.wait(timeout=60)
         client.shutdown()
         process.wait(timeout=60)
         return BenchResult(
@@ -313,7 +373,7 @@ def _run_service_scenario(
             timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
             experiment=experiment,
             scale=scale,
-            scenario="service_warm",
+            scenario=scenario,
             jobs=1,
             wall_seconds=round(wall, 3),
             sweep_seconds=None,
@@ -325,9 +385,10 @@ def _run_service_scenario(
             cpu_count=os.cpu_count() or 1,
         )
     finally:
-        if process.poll() is None:
-            process.kill()
-            process.wait(timeout=10)
+        for child in (worker, process):
+            if child is not None and child.poll() is None:
+                child.kill()
+                child.wait(timeout=10)
 
 
 def append_results(results: list[BenchResult], output: pathlib.Path) -> None:
@@ -643,7 +704,7 @@ def main(argv: list[str] | None = None) -> int:
         profiles: dict[str, pathlib.Path] = {}
         for scenario in scenarios:
             profile_path = None
-            if args.profile and scenario != "service_warm":
+            if args.profile and scenario not in ("service_warm", "fleet_warm"):
                 profile_path = workdir / f"{scenario}.prof"
             result = run_scenario(
                 scenario,

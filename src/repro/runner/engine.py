@@ -180,6 +180,14 @@ class WorkloadSpec:
             "dims": list(self.dims) if self.dims is not None else None,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` output (wire round-trip)."""
+        data = dict(data)
+        if data.get("dims") is not None:
+            data["dims"] = tuple(data["dims"])
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -223,6 +231,38 @@ class SweepPoint:
     def cache_key(self) -> str:
         """Content hash identifying this point in the result cache."""
         return cache_key(self.cache_payload())
+
+    def to_dict(self) -> dict:
+        """Serialise the point to plain Python types (wire payload).
+
+        Unlike :meth:`cache_payload` this keeps the ``label`` and drops
+        the schema/version envelope: it exists so a remote worker can
+        rebuild the *same* point with :meth:`from_dict` and verify the
+        round-trip by comparing :meth:`cache_key` values — any schema or
+        code-version skew between server and worker surfaces as a key
+        mismatch instead of a silently different record.
+        """
+        return {
+            "workload": self.workload.to_dict(),
+            "arch": self.arch.to_dict(),
+            "phi": self.phi.to_dict() if self.phi is not None else None,
+            "accelerator": self.accelerator,
+            "buffer_scale": self.buffer_scale,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepPoint":
+        """Rebuild a point from :meth:`to_dict` output."""
+        phi = data.get("phi")
+        return cls(
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            arch=ArchConfig.from_dict(data["arch"]),
+            phi=PhiConfig.from_dict(phi) if phi is not None else None,
+            accelerator=data.get("accelerator", "phi"),
+            buffer_scale=data.get("buffer_scale", 1.0),
+            label=data.get("label", ""),
+        )
 
     def describe(self) -> str:
         """Short human-readable tag for progress output."""
@@ -920,12 +960,20 @@ class SweepStats:
     simulated by their own run: a concurrent :meth:`SweepEngine.run` in
     another thread was already computing the identical point, and this
     run waited for that record instead of duplicating the work.
+
+    ``remote_hits`` counts points whose record came back from a fleet
+    worker via the engine's ``dispatcher`` hook rather than a local
+    simulation.  Remote points are *also* counted in ``executed``: from
+    the caller's perspective they were executed (not cached), and the
+    split between local and remote execution is deliberately invisible
+    everywhere except these operator-facing stats.
     """
 
     requested: int = 0
     cache_hits: int = 0
     executed: int = 0
     inflight_hits: int = 0
+    remote_hits: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -965,6 +1013,16 @@ class SweepEngine:
         decompositions, or ``None`` (the default) to keep them
         process-local.  With a store, each artifact is computed once per
         configuration ever — workers and later runs load it from disk.
+    dispatcher:
+        Optional remote-execution hook (duck-typed; the service layer
+        passes its fleet coordinator).  Before simulating locally,
+        :meth:`run` offers its pending points to
+        ``dispatcher.dispatch({cache_key: point, ...})``; whatever
+        subset of keys comes back mapped to records is settled exactly
+        as if simulated here (cached, counted as executed), and only
+        the remainder runs locally.  A dispatcher that raises is
+        treated as having returned nothing — remote execution is an
+        accelerator, never a correctness dependency.
     """
 
     def __init__(
@@ -974,6 +1032,7 @@ class SweepEngine:
         jobs: int = 1,
         progress: bool = False,
         store: ArtifactStore | None = None,
+        dispatcher=None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -981,6 +1040,7 @@ class SweepEngine:
         self.jobs = jobs
         self.progress = progress
         self.store = store
+        self.dispatcher = dispatcher
         self.stats = SweepStats()
         self._warned_cache_unwritable = False
         self._pool: ProcessPoolExecutor | None = None
@@ -1166,6 +1226,25 @@ class SweepEngine:
                     unsettled.add(key)
                 else:
                     awaited[key] = ([i], entry)
+
+            if pending and self.dispatcher is not None:
+                # Offer the pending work to the fleet first.  The
+                # dispatcher returns whatever subset the workers
+                # completed (possibly nothing — no workers registered,
+                # leases expired, draining); the rest runs locally, so
+                # callers cannot tell how many nodes served their sweep.
+                representatives = {
+                    key: points[indices[0]] for key, indices in pending.items()
+                }
+                try:
+                    remote = self.dispatcher.dispatch(representatives) or {}
+                except Exception:
+                    remote = {}
+                for key, record in remote.items():
+                    if key in unsettled:
+                        settle(key, record)
+                        self._count("remote_hits", len(pending[key]))
+                        del pending[key]
 
             if pending:
                 if self.jobs == 1 or len(pending) == 1:

@@ -21,17 +21,26 @@ The package is stdlib-only on top of the existing runner layer:
   ``python -m repro.runner ... --remote URL`` and
   ``python -m repro.report --remote URL``, with retry/backoff for
   transient failures and restart-surviving job waits.
-* :mod:`repro.service.cli` — the ``serve`` entry point with graceful
-  drain/shutdown.
+* :mod:`repro.service.cli` — the ``serve`` / ``worker`` entry points
+  with graceful drain/shutdown.
 * :mod:`repro.service.schemas` — the protocol version embedded in every
   request/response.
 * :mod:`repro.service.ratelimit` — per-client rolling-window rate
   limiting (429 + ``Retry-After``).
 * :mod:`repro.service.audit` — the append-only JSONL audit log of every
-  job/record mutation.
+  job/record mutation, with optional size-based rotation.
+* :mod:`repro.service.db` — the WAL-mode sqlite journal that makes the
+  job queue durable: jobs, worker registrations and lease events
+  survive a SIGKILL and are recovered on boot.
+* :mod:`repro.service.fleet` — the lease coordinator distributing
+  ``(workload, config)`` units to registered workers, with heartbeat
+  TTLs, automatic requeue of dead owners' leases and local fallback.
+* :mod:`repro.service.worker` — the ``python -m repro.service worker``
+  loop: register, lease, simulate, ingest, survive restarts.
 
-See DESIGN.md ("Service architecture") for the job lifecycle and the
-concurrency guarantees the test suite locks down.
+See DESIGN.md ("Service architecture" and "Durable fabric") for the
+job lifecycle, the lease state machine and the concurrency/recovery
+guarantees the test suite locks down.
 """
 
 from .audit import AuditLog
@@ -42,6 +51,8 @@ from .client import (
     ServiceClient,
     ServiceError,
 )
+from .db import SCHEMA_VERSION, SchemaMismatch, ServiceDB
+from .fleet import FleetCoordinator, FleetError, UnknownWorker, WorkUnit
 from .http import ServiceServer, serve
 from .jobs import (
     DONE,
@@ -56,13 +67,18 @@ from .jobs import (
 )
 from .ratelimit import RateLimiter
 from .schemas import PROTOCOL_VERSION
+from .worker import FleetWorker
 
 __all__ = [
     "DONE",
     "FAILED",
     "NO_RETRY",
     "PROTOCOL_VERSION",
+    "SCHEMA_VERSION",
     "AuditLog",
+    "FleetCoordinator",
+    "FleetError",
+    "FleetWorker",
     "Job",
     "JobNotFound",
     "JobRequest",
@@ -72,9 +88,13 @@ __all__ = [
     "RateLimiter",
     "RequestError",
     "RetryPolicy",
+    "SchemaMismatch",
     "ServiceClient",
+    "ServiceDB",
     "ServiceError",
     "ServiceServer",
     "ServiceUnavailable",
+    "UnknownWorker",
+    "WorkUnit",
     "serve",
 ]

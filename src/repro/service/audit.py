@@ -23,6 +23,7 @@ Properties the fault-injection suite relies on:
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import threading
 import time
@@ -39,13 +40,43 @@ class AuditLog:
         The log file; parent directories are created on first write and
         an existing file is appended to (restarts extend the history,
         they never truncate it).
+    max_bytes:
+        Size-based rotation threshold, or ``None``/``0`` for the
+        historical unbounded behaviour.  When appending a line would
+        grow the file past this many bytes, the current file is renamed
+        to ``<path>.1`` (replacing any previous rotation — one
+        generation is kept) and a fresh file is started.  Rotation
+        happens on whole-line boundaries only, so both generations
+        always parse line-by-line.
     """
 
-    def __init__(self, path: pathlib.Path | str) -> None:
+    def __init__(
+        self, path: pathlib.Path | str, *, max_bytes: int | None = None
+    ) -> None:
         self.path = pathlib.Path(path)
+        self.max_bytes = int(max_bytes) if max_bytes else None
         self._lock = threading.Lock()
         self._handle: TextIO | None = None
+        self._size = 0
         self._warned_unwritable = False
+
+    def _open_locked(self) -> None:
+        """Open the append handle and learn the current size (lock held).
+
+        The size is tracked in bytes written, not via ``tell()`` — text
+        -mode ``tell`` returns an opaque cookie, not a byte offset.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        try:
+            self._size = self.path.stat().st_size
+        except OSError:
+            self._size = 0
+
+    @property
+    def rotated_path(self) -> pathlib.Path:
+        """Where the previous generation lands after a rotation."""
+        return self.path.with_name(self.path.name + ".1")
 
     def record(self, event: str, **fields: Any) -> None:
         """Append one event line: ``{"ts": ..., "event": ..., **fields}``.
@@ -59,13 +90,26 @@ class AuditLog:
             JSON-serialisable context for the event.
         """
         line = json.dumps({"ts": time.time(), "event": event, **fields})
+        size = len(line.encode("utf-8")) + 1
         with self._lock:
             try:
                 if self._handle is None:
-                    self.path.parent.mkdir(parents=True, exist_ok=True)
-                    self._handle = self.path.open("a", encoding="utf-8")
+                    self._open_locked()
+                if (
+                    self.max_bytes
+                    and self._size > 0
+                    and self._size + size > self.max_bytes
+                ):
+                    # Rotate on a whole-line boundary: close, rename the
+                    # full generation to `.1` (atomically replacing the
+                    # previous one) and start fresh.
+                    self._handle.close()
+                    self._handle = None
+                    os.replace(self.path, self.rotated_path)
+                    self._open_locked()
                 self._handle.write(line + "\n")
                 self._handle.flush()
+                self._size += size
             except (OSError, ValueError):
                 if not self._warned_unwritable:
                     self._warned_unwritable = True
@@ -86,20 +130,24 @@ class AuditLog:
                     pass
                 self._handle = None
 
-    def entries(self) -> Iterator[dict]:
+    def entries(self, *, include_rotated: bool = False) -> Iterator[dict]:
         """Yield every complete event in the log, oldest first.
 
         A trailing partial line (the SIGKILL case) is skipped rather
-        than raised, matching the durability contract above.
+        than raised, matching the durability contract above.  With
+        ``include_rotated`` the retained ``.1`` generation (when any)
+        is replayed first, so the combined stream stays chronological.
         """
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except OSError:
-            return
-        for line in text.splitlines():
-            if not line.strip():
-                continue
+        paths = [self.rotated_path, self.path] if include_rotated else [self.path]
+        for path in paths:
             try:
-                yield json.loads(line)
-            except ValueError:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
                 continue
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    continue

@@ -11,6 +11,13 @@ Point clients at it::
     python -m repro.runner exp fig7 --scale tiny --remote http://127.0.0.1:8731
     python -m repro.report --scale tiny --remote http://127.0.0.1:8731
 
+Add worker nodes to the fleet (each leases work units, simulates them
+against the shared artifact store and streams records back; killing one
+mid-sweep only requeues its lease)::
+
+    python -m repro.service worker --server http://127.0.0.1:8731
+    python -m repro.service worker --server http://127.0.0.1:8731
+
 Stop it gracefully (drains queued and running jobs first)::
 
     python - <<'PY'
@@ -25,16 +32,20 @@ from __future__ import annotations
 
 import argparse
 import os
+import pathlib
 import signal
 import sys
+import threading
 
 from ..runner.cache import ResultCache, default_cache_dir
 from ..runner.engine import SweepEngine
 from ..runner.store import ArtifactStore, default_store_dir
 from .audit import AuditLog
+from .db import ServiceDB
 from .http import DEFAULT_REQUEST_TIMEOUT, serve
 from .jobs import JobService
 from .ratelimit import RateLimiter
+from .worker import FleetWorker
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,6 +129,42 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument(
+        "--audit-max-bytes",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "rotate the audit log to <path>.1 when it would exceed N "
+            "bytes; 0 keeps it unbounded (default: %(default)s)"
+        ),
+    )
+    p.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help=(
+            "sqlite journal for jobs/leases/workers; on boot the service "
+            "recovers from it — finished jobs are replayed, queued and "
+            "orphaned running jobs re-enqueued (default: "
+            "<cache-dir>/service.db when the cache is enabled)"
+        ),
+    )
+    p.add_argument(
+        "--no-db",
+        action="store_true",
+        help="disable the durable job journal (pre-fabric volatile behaviour)",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "worker heartbeat/lease TTL; a worker silent this long is "
+            "declared dead and its leased units requeue (default: %(default)s)"
+        ),
+    )
+    p.add_argument(
         "--request-timeout",
         type=float,
         default=DEFAULT_REQUEST_TIMEOUT,
@@ -131,7 +178,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", "-q", action="store_true", help="suppress access/progress logs"
     )
     p.set_defaults(func=_cmd_serve)
+
+    w = sub.add_parser(
+        "worker",
+        help="join a service's worker fleet (lease units, simulate, ingest)",
+    )
+    w.add_argument(
+        "--server",
+        required=True,
+        metavar="URL",
+        help="base URL of the service to join (http://host:port)",
+    )
+    w.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="simulator worker processes of this node's engine (default: 1)",
+    )
+    w.add_argument(
+        "--store-dir",
+        default=default_store_dir(),
+        help="shared artifact store directory (default: %(default)s)",
+    )
+    w.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the shared workload/calibration store",
+    )
+    w.add_argument(
+        "--token",
+        default=os.environ.get("REPRO_SERVICE_TOKEN"),
+        help="bearer token for an authenticated service "
+        "(default: $REPRO_SERVICE_TOKEN)",
+    )
+    w.add_argument(
+        "--poll",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="idle sleep between lease attempts (default: %(default)s)",
+    )
+    w.add_argument(
+        "--drag",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=argparse.SUPPRESS,  # fault-injection aid: delay before simulating
+    )
+    w.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N units (default: run until signalled)",
+    )
+    w.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress progress logs"
+    )
+    w.set_defaults(func=_cmd_worker)
     return parser
+
+
+def _resolve_db_path(args: argparse.Namespace) -> pathlib.Path | None:
+    """Where the sqlite journal lives, honouring --db/--no-db/--no-cache.
+
+    The default placement — ``<cache-dir>/service.db`` — never collides
+    with the cache's record layout: records live under two-hex-digit
+    fan-out directories and are globbed as ``*/*.json``, so a file at
+    the cache root is invisible to it.
+    """
+    if args.no_db:
+        return None
+    if args.db:
+        return pathlib.Path(args.db)
+    if args.no_cache:
+        return None  # no default home for the journal without a cache dir
+    return pathlib.Path(args.cache_dir) / "service.db"
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -141,13 +264,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Fork the worker pool while this process is still single-threaded
     # (JobService and the HTTP server spawn threads next).
     engine.warm_up()
-    audit = AuditLog(args.audit_log) if args.audit_log else None
+    audit = (
+        AuditLog(args.audit_log, max_bytes=args.audit_max_bytes or None)
+        if args.audit_log
+        else None
+    )
     limiter = (
         RateLimiter(args.rate_limit, args.rate_window)
         if args.rate_limit > 0
         else None
     )
-    service = JobService(engine, workers=args.dispatchers, audit=audit)
+    db_path = _resolve_db_path(args)
+    db = ServiceDB(db_path) if db_path is not None else None
+    service = JobService(
+        engine,
+        workers=args.dispatchers,
+        audit=audit,
+        db=db,
+        lease_ttl=args.lease_ttl,
+    )
     server = serve(
         service,
         host=args.host,
@@ -172,7 +307,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"dispatchers={args.dispatchers}, "
             f"auth={'on' if args.auth_token else 'off'}, "
             f"rate_limit={args.rate_limit or 'off'}, "
-            f"audit={args.audit_log or 'off'}",
+            f"audit={args.audit_log or 'off'}, "
+            f"db={db_path or 'off'}, lease_ttl={args.lease_ttl}",
             file=sys.stderr,
             flush=True,
         )
@@ -204,6 +340,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     return exit_code
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    store = None if args.no_store else ArtifactStore(args.store_dir)
+    worker = FleetWorker(
+        args.server,
+        store=store,
+        jobs=args.jobs,
+        token=args.token,
+        poll=args.poll,
+        drag=args.drag,
+        # The readiness line tests and the fleet-smoke CI job parse.
+        on_register=lambda worker_id: print(
+            f"worker {worker_id} registered with {args.server}", flush=True
+        ),
+    )
+    stop = threading.Event()
+
+    def _stop(signum, frame) -> None:  # pragma: no cover - signal path
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    completed = worker.run(stop, max_units=args.max_units)
+    if not args.quiet:
+        print(f"worker stopped after {completed} units", flush=True)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -273,9 +273,43 @@ class ServiceClient:
         """``GET /experiments``: registry export + scale tier names."""
         return self._request("GET", "/experiments")
 
-    def jobs(self) -> list[dict]:
-        """``GET /jobs``: every job the service has accepted."""
-        return self._request("GET", "/jobs")["jobs"]
+    def jobs(
+        self,
+        *,
+        status: str | None = None,
+        offset: int | None = None,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """``GET /jobs``: a page of job summaries, newest capped by ``limit``.
+
+        Parameters mirror the endpoint: filter by lifecycle ``status``
+        and page with ``offset``/``limit`` (server default: the first
+        100 jobs in submission order).  Use :meth:`job_page` when the
+        filtered ``total`` is needed for pagination.
+        """
+        return self.job_page(status=status, offset=offset, limit=limit)["jobs"]
+
+    def job_page(
+        self,
+        *,
+        status: str | None = None,
+        offset: int | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        """``GET /jobs`` with the full pagination envelope.
+
+        Returns the raw response: ``jobs`` (the page), ``total`` (the
+        filtered count), ``offset`` and ``limit``.
+        """
+        params = []
+        if status is not None:
+            params.append(f"status={status}")
+        if offset is not None:
+            params.append(f"offset={offset}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/jobs{query}")
 
     def submit(
         self,
@@ -429,6 +463,79 @@ class ServiceClient:
     def records_for(self, job: Mapping[str, Any]) -> dict[str, dict]:
         """Fetch every sweep record a finished job touched, keyed by hash."""
         return self.records(list(job.get("record_keys", ())))
+
+    # ------------------------------------------------------------------ #
+    # Worker fleet protocol (used by `python -m repro.service worker`)
+    # ------------------------------------------------------------------ #
+    def register_worker(self) -> dict:
+        """``POST /workers``: register as a fleet worker.
+
+        Returns the registration contract: ``worker_id``, the lease
+        ``ttl`` and the advised ``heartbeat_interval``.  Safe to retry:
+        a duplicate registration just creates an extra worker id that
+        expires unheartbeaten.
+        """
+        return self._request(
+            "POST", "/workers", {"version": PROTOCOL_VERSION}, retryable=True
+        )
+
+    def worker_heartbeat(self, worker_id: str) -> dict:
+        """``POST /workers/<id>/heartbeat``: renew registration + leases.
+
+        Raises
+        ------
+        ServiceError
+            With ``status == 404`` (and ``unknown_worker`` in the
+            details) when the server no longer knows the id — the
+            worker should re-register.
+        """
+        return self._request(
+            "POST",
+            f"/workers/{worker_id}/heartbeat",
+            {"version": PROTOCOL_VERSION},
+            retryable=True,
+        )
+
+    def lease(
+        self, worker_id: str, *, failed: Mapping[str, Any] | None = None
+    ) -> dict | None:
+        """``POST /lease``: the next work unit, or ``None`` when idle.
+
+        Parameters
+        ----------
+        worker_id:
+            This worker's registered id.
+        failed:
+            Optional failure report for the previous unit
+            (``{"unit": <id>, "error": <text>}``).
+
+        Safe to retry: a grant whose response was lost simply expires
+        at TTL and requeues.
+        """
+        body: dict[str, Any] = {"version": PROTOCOL_VERSION, "worker": worker_id}
+        if failed is not None:
+            body["failed"] = dict(failed)
+        return self._request("POST", "/lease", body, retryable=True)["unit"]
+
+    def ingest(
+        self, worker_id: str, unit_id: str, records: Mapping[str, dict]
+    ) -> dict:
+        """``POST /records`` (ingest mode): deliver a unit's records.
+
+        Idempotent by design (duplicate keys are counted and dropped),
+        hence safe to retry.
+        """
+        return self._request(
+            "POST",
+            "/records",
+            {
+                "version": PROTOCOL_VERSION,
+                "worker": worker_id,
+                "unit": unit_id,
+                "records": dict(records),
+            },
+            retryable=True,
+        )
 
     def shutdown(self) -> dict:
         """``POST /shutdown``: ask the service to drain and stop.

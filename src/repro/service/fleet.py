@@ -1,0 +1,472 @@
+"""Worker-fleet coordination: leases, heartbeats and record ingest.
+
+The :class:`FleetCoordinator` is the server half of the durable sweep
+fabric.  It sits between the engine and the HTTP surface:
+
+* The engine (via its ``dispatcher`` hook) calls :meth:`dispatch` with
+  pending ``{cache_key: point}`` work; the coordinator groups the points
+  into ``(workload spec, PhiConfig)`` *units* — the same granularity as
+  the engine's own dispatch — and blocks until workers complete them or
+  they fall back to local execution.
+* Workers (over HTTP) call :meth:`register`, :meth:`heartbeat`,
+  :meth:`lease` and :meth:`ingest`.
+
+The lease state machine generalises the engine's in-process dead-owner
+fallback (``_InFlight``) across processes:
+
+* a unit is **queued**, then **leased** to exactly one worker with a
+  TTL that heartbeats renew;
+* a lease whose TTL lapses (worker crashed, hung, or partitioned) is
+  **expired** and the unit requeued — at-least-once execution, with the
+  content-addressed cache making duplicate completions harmless;
+* a unit that fails too many leases, or whose fleet empties out, is
+  **withdrawn** and the engine simulates it locally — remote execution
+  is an accelerator, never a correctness dependency;
+* ingested records are schema-validated, checked against the unit's
+  expected cache keys, idempotent on duplicates, and written through to
+  the result cache immediately so a server crash after ingest never
+  loses remote work.
+
+Expiry is *lazy*: there is no reaper thread.  Every lease/ingest call
+and every tick of a waiting :meth:`dispatch` loop sweeps expired
+workers and leases first, so a dead worker is detected within one
+dispatch tick without any background machinery to shut down.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+import warnings
+from collections import deque
+from typing import Any
+
+from ..runner.cache import ResultCache
+from ..runner.engine import SweepPoint, _unit_key, validate_record
+from .audit import AuditLog
+from .db import ServiceDB
+
+#: Unit lifecycle states.
+UNIT_QUEUED = "queued"
+UNIT_LEASED = "leased"
+UNIT_DONE = "done"
+UNIT_WITHDRAWN = "withdrawn"
+
+
+class FleetError(ValueError):
+    """A malformed or inconsistent fleet-protocol request (HTTP 4xx)."""
+
+
+class UnknownWorker(FleetError):
+    """The worker id is not (or no longer) registered (HTTP 404).
+
+    Workers treat this as a signal to re-register: it is the normal
+    aftermath of a server restart or of missing heartbeats past the TTL.
+    """
+
+
+class WorkUnit:
+    """One leased batch of sweep points sharing every derived artifact."""
+
+    __slots__ = (
+        "id",
+        "points",
+        "keys",
+        "state",
+        "owner",
+        "expires",
+        "failures",
+        "records",
+    )
+
+    def __init__(self, unit_id: str, points: list[SweepPoint], keys: list[str]) -> None:
+        self.id = unit_id
+        self.points = points
+        self.keys = keys
+        self.state = UNIT_QUEUED
+        self.owner: str | None = None
+        self.expires: float | None = None
+        self.failures = 0
+        self.records: dict[str, dict] = {}
+
+
+class _Worker:
+    """Server-side view of one registered worker."""
+
+    __slots__ = ("id", "expires", "completed")
+
+    def __init__(self, worker_id: str, expires: float) -> None:
+        self.id = worker_id
+        self.expires = expires
+        self.completed = 0
+
+
+class FleetCoordinator:
+    """Lease queue + registry bridging the engine and remote workers.
+
+    Parameters
+    ----------
+    cache:
+        The engine's result cache; ingested records are written through
+        to it immediately (durability) in addition to being handed back
+        to the waiting :meth:`dispatch` call.  ``None`` disables the
+        write-through.
+    audit:
+        Optional audit log for lease state-machine events.
+    db:
+        Optional :class:`~repro.service.db.ServiceDB`; worker
+        registrations and lease events are journaled into it.
+    lease_ttl:
+        Seconds a lease (and a worker registration) stays valid without
+        a heartbeat.  Workers are told to heartbeat at a third of this.
+    max_unit_failures:
+        Lease failures (expiry or explicit worker error) after which a
+        unit stops being offered to the fleet and runs locally instead.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        audit: AuditLog | None = None,
+        db: ServiceDB | None = None,
+        lease_ttl: float = 10.0,
+        max_unit_failures: int = 3,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+        self.cache = cache
+        self.audit = audit
+        self.db = db
+        self.lease_ttl = float(lease_ttl)
+        self.max_unit_failures = max_unit_failures
+        self._cond = threading.Condition()
+        self._workers: dict[str, _Worker] = {}
+        self._units: dict[str, WorkUnit] = {}
+        self._queue: deque[str] = deque()
+        self._counter = itertools.count(1)
+        self._draining = False
+        self._warned_cache_unwritable = False
+        # Lifetime counters for /healthz.
+        self._leases_granted = 0
+        self._leases_expired = 0
+        self._units_completed = 0
+
+    # ------------------------------------------------------------------ #
+    def _audit(self, event: str, **fields: Any) -> None:
+        if self.audit is not None:
+            self.audit.record(event, **fields)
+
+    def _journal(self, unit: str, worker: str | None, event: str, **detail) -> None:
+        if self.db is not None:
+            self.db.lease_event(unit, worker, event, **detail)
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle (HTTP side)
+    # ------------------------------------------------------------------ #
+    def register(self, *, actor: str | None = None) -> dict[str, Any]:
+        """Register a new worker; returns its id and heartbeat contract."""
+        worker_id = f"worker-{uuid.uuid4().hex[:12]}"
+        with self._cond:
+            self._workers[worker_id] = _Worker(
+                worker_id, time.monotonic() + self.lease_ttl
+            )
+        if self.db is not None:
+            self.db.save_worker(worker_id, "alive")
+        self._audit("worker.registered", worker=worker_id, actor=actor)
+        return {
+            "worker_id": worker_id,
+            "ttl": self.lease_ttl,
+            "heartbeat_interval": self.lease_ttl / 3.0,
+        }
+
+    def heartbeat(self, worker_id: str) -> dict[str, Any]:
+        """Renew a worker's registration and every lease it holds."""
+        now = time.monotonic()
+        with self._cond:
+            self._expire_locked(now)
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                raise UnknownWorker(f"unknown worker {worker_id!r}; re-register")
+            worker.expires = now + self.lease_ttl
+            renewed = 0
+            for unit in self._units.values():
+                if unit.state == UNIT_LEASED and unit.owner == worker_id:
+                    unit.expires = now + self.lease_ttl
+                    renewed += 1
+        return {"ok": True, "leases_renewed": renewed}
+
+    # ------------------------------------------------------------------ #
+    # Lease / ingest (HTTP side)
+    # ------------------------------------------------------------------ #
+    def lease(self, worker_id: str) -> dict[str, Any] | None:
+        """Grant the oldest queued unit to ``worker_id``, or ``None``.
+
+        The grant is the wire view of the unit: serialised points, their
+        expected cache keys, and the lease TTL.  The worker rebuilds the
+        points with :meth:`SweepPoint.from_dict` and verifies the keys
+        round-trip — version skew surfaces as a key mismatch there, not
+        as a silently divergent record here.
+        """
+        now = time.monotonic()
+        with self._cond:
+            self._expire_locked(now)
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                raise UnknownWorker(f"unknown worker {worker_id!r}; re-register")
+            worker.expires = now + self.lease_ttl
+            if self._draining:
+                return None
+            while self._queue:
+                unit = self._units.get(self._queue.popleft())
+                if unit is None or unit.state != UNIT_QUEUED:
+                    continue
+                unit.state = UNIT_LEASED
+                unit.owner = worker_id
+                unit.expires = now + self.lease_ttl
+                self._leases_granted += 1
+                grant = {
+                    "id": unit.id,
+                    "points": [point.to_dict() for point in unit.points],
+                    "keys": list(unit.keys),
+                    "ttl": self.lease_ttl,
+                }
+                break
+            else:
+                return None
+        self._journal(unit.id, worker_id, "granted", points=len(unit.keys))
+        self._audit(
+            "lease.granted", unit=unit.id, worker=worker_id, points=len(unit.keys)
+        )
+        return grant
+
+    def fail(self, worker_id: str, unit_id: str, error: str) -> None:
+        """A worker reports it could not complete a leased unit."""
+        with self._cond:
+            if worker_id not in self._workers:
+                raise UnknownWorker(f"unknown worker {worker_id!r}; re-register")
+            unit = self._units.get(unit_id)
+            if unit is None or unit.state != UNIT_LEASED or unit.owner != worker_id:
+                return  # already expired / completed elsewhere; nothing to do
+            self._requeue_locked(unit, reason=f"worker error: {error}")
+            self._cond.notify_all()
+        self._audit("unit.failed", unit=unit_id, worker=worker_id, error=error)
+
+    def ingest(
+        self, worker_id: str, unit_id: str, records: dict[str, dict]
+    ) -> dict[str, Any]:
+        """Accept completed v3 records for a unit (idempotent, validated).
+
+        Every record must map to one of the unit's expected cache keys
+        and pass :func:`~repro.runner.engine.validate_record`; duplicate
+        keys (late redelivery, two workers racing one requeued unit) are
+        counted and discarded.  Records are accepted from any registered
+        worker — content addressing makes the sender irrelevant to the
+        result — so a worker whose lease expired but that finishes
+        anyway still contributes instead of wasting its work.
+        """
+        now = time.monotonic()
+        with self._cond:
+            self._expire_locked(now)
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                raise UnknownWorker(f"unknown worker {worker_id!r}; re-register")
+            worker.expires = now + self.lease_ttl
+            unit = self._units.get(unit_id)
+            if unit is None:
+                raise FleetError(
+                    f"unknown unit {unit_id!r} (completed, withdrawn or expired)"
+                )
+            problems: list[str] = []
+            expected = set(unit.keys)
+            for key, record in records.items():
+                if key not in expected:
+                    problems.append(f"unexpected record key {key!r}")
+                    continue
+                record_problems = (
+                    validate_record(record)
+                    if isinstance(record, dict)
+                    else ["record is not an object"]
+                )
+                problems.extend(f"{key}: {p}" for p in record_problems)
+            if problems:
+                raise FleetError(
+                    "rejected ingest: " + "; ".join(problems[:5])
+                    + (f" (+{len(problems) - 5} more)" if len(problems) > 5 else "")
+                )
+            fresh = {
+                key: record
+                for key, record in records.items()
+                if key not in unit.records
+            }
+            unit.records.update(fresh)
+            duplicates = len(records) - len(fresh)
+            done = set(unit.records) >= expected
+            if done and unit.state != UNIT_DONE:
+                unit.state = UNIT_DONE
+                unit.owner = None
+                worker.completed += 1
+                self._units_completed += 1
+                self._cond.notify_all()
+        self._write_through(fresh)
+        if fresh:
+            self._audit(
+                "records.ingested",
+                unit=unit_id,
+                worker=worker_id,
+                records=len(fresh),
+                duplicates=duplicates,
+            )
+        if done:
+            self._journal(unit_id, worker_id, "completed", records=len(unit.records))
+            self._audit("lease.completed", unit=unit_id, worker=worker_id)
+        return {"ingested": len(fresh), "duplicates": duplicates, "done": done}
+
+    def _write_through(self, records: dict[str, dict]) -> None:
+        """Persist ingested records into the result cache immediately."""
+        if self.cache is None:
+            return
+        for key, record in records.items():
+            try:
+                self.cache.put(key, record)
+            except OSError as error:
+                if not self._warned_cache_unwritable:
+                    self._warned_cache_unwritable = True
+                    warnings.warn(
+                        f"result cache {self.cache.root} is unwritable "
+                        f"({error}); ingested records are not persisted",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                return
+
+    # ------------------------------------------------------------------ #
+    # Engine side
+    # ------------------------------------------------------------------ #
+    def dispatch(self, points_by_key: dict[str, SweepPoint]) -> dict[str, dict]:
+        """Offer pending points to the fleet; return the completed subset.
+
+        Blocks while the fleet is making progress and returns early —
+        possibly with a partial result, possibly empty — whenever the
+        remainder is better run locally: no workers registered, the
+        fleet emptied out mid-sweep, a unit burned through its failure
+        budget, or the service is draining.  The engine simulates
+        whatever is missing from the returned mapping.
+        """
+        if not points_by_key:
+            return {}
+        with self._cond:
+            self._expire_locked(time.monotonic())
+            if self._draining or not self._alive_locked():
+                return {}
+            mine: set[str] = set()
+            grouped: dict[tuple, WorkUnit] = {}
+            for key, point in points_by_key.items():
+                group = _unit_key(point)
+                unit = grouped.get(group)
+                if unit is None:
+                    unit = grouped[group] = WorkUnit(
+                        f"unit-{next(self._counter):06d}", [], []
+                    )
+                    self._units[unit.id] = unit
+                    self._queue.append(unit.id)
+                    mine.add(unit.id)
+                unit.points.append(point)
+                unit.keys.append(key)
+            self._cond.notify_all()
+
+        completed: dict[str, dict] = {}
+        with self._cond:
+            while mine:
+                now = time.monotonic()
+                self._expire_locked(now)
+                alive = self._alive_locked()
+                for unit_id in list(mine):
+                    unit = self._units[unit_id]
+                    if unit.state == UNIT_DONE:
+                        completed.update(unit.records)
+                    elif unit.state == UNIT_QUEUED and (
+                        self._draining
+                        or not alive
+                        or unit.failures >= self.max_unit_failures
+                    ):
+                        unit.state = UNIT_WITHDRAWN
+                        self._audit(
+                            "unit.withdrawn",
+                            unit=unit.id,
+                            failures=unit.failures,
+                            workers=alive,
+                        )
+                    else:
+                        continue
+                    mine.discard(unit_id)
+                    del self._units[unit_id]
+                if mine:
+                    self._cond.wait(timeout=0.2)
+        return completed
+
+    # ------------------------------------------------------------------ #
+    # Internals (lock held)
+    # ------------------------------------------------------------------ #
+    def _alive_locked(self) -> int:
+        return len(self._workers)
+
+    def _requeue_locked(self, unit: WorkUnit, *, reason: str) -> None:
+        unit.failures += 1
+        unit.state = UNIT_QUEUED
+        unit.owner = None
+        unit.expires = None
+        if unit.failures < self.max_unit_failures:
+            self._queue.append(unit.id)
+        self._journal(unit.id, None, "requeued", reason=reason, failures=unit.failures)
+        self._audit(
+            "unit.requeued", unit=unit.id, reason=reason, failures=unit.failures
+        )
+
+    def _expire_locked(self, now: float) -> None:
+        """Lazily expire dead workers and lapsed leases (condition held)."""
+        dead = [w for w in self._workers.values() if w.expires < now]
+        for worker in dead:
+            del self._workers[worker.id]
+        lapsed = [
+            unit
+            for unit in self._units.values()
+            if unit.state == UNIT_LEASED and unit.expires is not None
+            and unit.expires < now
+        ]
+        for unit in lapsed:
+            owner = unit.owner
+            self._leases_expired += 1
+            self._journal(unit.id, owner, "expired")
+            self._audit("lease.expired", unit=unit.id, worker=owner)
+            self._requeue_locked(unit, reason=f"lease expired (owner {owner})")
+        if dead or lapsed:
+            self._cond.notify_all()
+        for worker in dead:
+            if self.db is not None:
+                self.db.save_worker(worker.id, "dead")
+            self._audit("worker.expired", worker=worker.id)
+
+    # ------------------------------------------------------------------ #
+    def counts(self) -> dict[str, Any]:
+        """Fleet summary for ``/healthz`` (operator-facing only)."""
+        with self._cond:
+            self._expire_locked(time.monotonic())
+            states: dict[str, int] = {}
+            for unit in self._units.values():
+                states[unit.state] = states.get(unit.state, 0) + 1
+            return {
+                "workers": len(self._workers),
+                "units": states,
+                "leases_granted": self._leases_granted,
+                "leases_expired": self._leases_expired,
+                "units_completed": self._units_completed,
+            }
+
+    def drain(self) -> None:
+        """Stop offering work to the fleet; waiting dispatches withdraw."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()

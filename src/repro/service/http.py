@@ -19,15 +19,29 @@ Endpoints
     Submit ``{"experiment": ..., "scale": ..., "overrides": {...}}``;
     ``201`` with the job view, or ``200`` when deduplicated onto an
     in-flight job.  Unknown fields, experiments or scales are ``400``.
-``GET /jobs`` / ``GET /jobs/<id>[?wait=seconds]``
-    List jobs / poll one job (optionally long-polling until it is
-    terminal or the wait window elapses).  Running jobs stream progress
-    counts; finished jobs carry the payload and their record keys.
+``GET /jobs[?status=&offset=&limit=]`` / ``GET /jobs/<id>[?wait=seconds]``
+    List jobs (state-filterable, paginated, with the filtered ``total``
+    so operators can page) / poll one job (optionally long-polling
+    until it is terminal or the wait window elapses).  Running jobs
+    stream progress counts; finished jobs carry the payload and their
+    record keys.
 ``GET /records/<key>`` / ``POST /records`` (``{"keys": [...]}``)
     The raw v3 sweep record behind a cache key — singly, or batched in
     one round trip; ``404`` on miss and ``502`` when a cached record
     fails schema validation (the service refuses to serve invalid
     records).
+``POST /records`` (``{"worker": ..., "unit": ..., "records": {...}}``)
+    The fleet ingest path: a worker streams completed v3 records for a
+    leased unit.  Schema-validated, checked against the unit's expected
+    cache keys, idempotent on duplicates (see
+    :class:`~repro.service.fleet.FleetCoordinator.ingest`).  The body
+    shape — ``records`` vs ``keys`` — selects ingest vs batch fetch.
+``POST /workers`` / ``POST /workers/<id>/heartbeat`` / ``POST /lease``
+    The worker fleet protocol: register (201 with the worker id and
+    heartbeat contract), renew registration + held leases, and lease
+    the next queued work unit (``{"unit": null, "retry_after": ...}``
+    when there is nothing to do).  A 404 with ``unknown_worker`` tells
+    a worker to re-register — the normal aftermath of a server restart.
 ``POST /shutdown``
     Acknowledge, then drain gracefully and stop the server.
 
@@ -62,6 +76,7 @@ from urllib.parse import parse_qs, urlparse
 
 from .. import __version__
 from ..experiments.registry import SCALES, registry_json
+from .fleet import FleetError, UnknownWorker
 from .jobs import JobRequest, JobService, RequestError, ServiceUnavailable
 from .ratelimit import RateLimiter
 from .schemas import version_problem, versioned
@@ -342,9 +357,7 @@ class _Handler(BaseHTTPRequestHandler):
                 200, {"experiments": registry_json(), "scales": sorted(SCALES)}
             )
         if parts == ["jobs"]:
-            return self._send(
-                200, {"jobs": [job.summary() for job in self.service.jobs()]}
-            )
+            return self._get_jobs(parse_qs(url.query))
         if len(parts) == 2 and parts[0] == "jobs":
             return self._get_job(parts[1], parse_qs(url.query))
         if len(parts) == 2 and parts[0] == "records":
@@ -360,6 +373,12 @@ class _Handler(BaseHTTPRequestHandler):
             return self._post_job()
         if parts == ["records"]:
             return self._post_records()
+        if parts == ["workers"]:
+            return self._post_worker_register()
+        if len(parts) == 3 and parts[0] == "workers" and parts[2] == "heartbeat":
+            return self._post_worker_heartbeat(parts[1])
+        if parts == ["lease"]:
+            return self._post_lease()
         if parts == ["shutdown"]:
             self._drain_body()
             self._audit("service.shutdown_requested", actor=self._actor)
@@ -399,7 +418,37 @@ class _Handler(BaseHTTPRequestHandler):
                     "cache": None if engine.cache is None else str(engine.cache.root),
                     "store": None if engine.store is None else str(engine.store.root),
                 },
+                # Operator-facing only: job progress views deliberately
+                # never reveal how many nodes served a sweep.
+                "fleet": self.service.fleet.counts(),
+                "db": None if self.service.db is None else str(self.service.db.path),
             },
+        )
+
+    def _get_jobs(self, query: dict) -> None:
+        """``GET /jobs``: the state-filterable, paginated job index."""
+
+        def _int_param(name: str, default: int) -> int:
+            raw = query.get(name)
+            if not raw:
+                return default
+            try:
+                return int(raw[0])
+            except ValueError:
+                raise RequestError(f"invalid {name} value {raw[0]!r}")
+
+        try:
+            status = query.get("status", [None])[0]
+            offset = _int_param("offset", 0)
+            limit = _int_param("limit", 100)
+            summaries, total = self.service.job_index(
+                status=status, offset=offset, limit=limit
+            )
+        except RequestError as error:
+            return self._error(400, str(error))
+        self._send(
+            200,
+            {"jobs": summaries, "total": total, "offset": offset, "limit": limit},
         )
 
     def _post_job(self) -> None:
@@ -444,9 +493,15 @@ class _Handler(BaseHTTPRequestHandler):
         problem = version_problem(body)
         if problem is not None:
             return self._error(400, problem)
+        if isinstance(body, dict) and "records" in body:
+            return self._ingest_records(body)
         keys = body.get("keys") if isinstance(body, dict) else None
         if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
-            return self._error(400, "body must be {'keys': [<record key>, ...]}")
+            return self._error(
+                400,
+                "body must be {'keys': [<record key>, ...]} (fetch) or "
+                "{'worker': ..., 'unit': ..., 'records': {...}} (ingest)",
+            )
         records: dict[str, dict] = {}
         missing: list[str] = []
         invalid: dict[str, list[str]] = {}
@@ -478,6 +533,102 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(404, "no cached record for some keys", missing=missing)
         self._audit("record.served", actor=self._actor, count=len(records))
         self._send(200, {"records": records})
+
+    # ------------------------------------------------------------------ #
+    # Worker fleet protocol
+    # ------------------------------------------------------------------ #
+    def _ingest_records(self, body: dict) -> None:
+        """``POST /records`` ingest mode: a worker delivers unit records."""
+        worker = body.get("worker")
+        unit = body.get("unit")
+        records = body.get("records")
+        if (
+            not isinstance(worker, str)
+            or not isinstance(unit, str)
+            or not isinstance(records, dict)
+        ):
+            return self._error(
+                400,
+                "ingest body must be {'worker': <id>, 'unit': <id>, "
+                "'records': {<key>: <record>, ...}}",
+            )
+        try:
+            result = self.service.fleet.ingest(worker, unit, records)
+        except UnknownWorker as error:
+            return self._error(404, str(error), unknown_worker=True)
+        except FleetError as error:
+            self._audit(
+                "record.refused",
+                actor=self._actor,
+                reason="ingest",
+                unit=unit,
+                worker=worker,
+            )
+            return self._error(400, str(error))
+        self._send(200, result)
+
+    def _post_worker_register(self) -> None:
+        """``POST /workers``: register a worker (201 with the contract)."""
+        try:
+            body = self._read_json()
+        except RequestError as error:
+            # An empty body is fine for registration — there is nothing
+            # a brand-new worker could usefully declare.
+            if "empty request body" not in str(error):
+                return self._error(400, str(error))
+            body = {}
+        problem = version_problem(body)
+        if problem is not None:
+            return self._error(400, problem)
+        self._send(201, self.service.fleet.register(actor=self._actor))
+
+    def _post_worker_heartbeat(self, worker_id: str) -> None:
+        """``POST /workers/<id>/heartbeat``: renew registration + leases."""
+        self._drain_body()
+        try:
+            self._send(200, self.service.fleet.heartbeat(worker_id))
+        except UnknownWorker as error:
+            self._error(404, str(error), unknown_worker=True)
+
+    def _post_lease(self) -> None:
+        """``POST /lease``: grant the next queued unit to a worker.
+
+        The body may piggyback an explicit failure report for the
+        worker's previous unit (``{"failed": {"unit": ..., "error":
+        ...}}``) so a worker that *knows* it failed does not leave the
+        unit parked until TTL expiry.
+        """
+        try:
+            body = self._read_json()
+        except RequestError as error:
+            return self._error(400, str(error))
+        problem = version_problem(body)
+        if problem is not None:
+            return self._error(400, problem)
+        worker = body.get("worker") if isinstance(body, dict) else None
+        if not isinstance(worker, str):
+            return self._error(400, "lease body must carry a 'worker' id")
+        failed = body.get("failed")
+        try:
+            if failed is not None:
+                if not isinstance(failed, dict) or not isinstance(
+                    failed.get("unit"), str
+                ):
+                    return self._error(
+                        400, "'failed' must be {'unit': <id>, 'error': <text>}"
+                    )
+                self.service.fleet.fail(
+                    worker, failed["unit"], str(failed.get("error", ""))
+                )
+            grant = self.service.fleet.lease(worker)
+        except UnknownWorker as error:
+            return self._error(404, str(error), unknown_worker=True)
+        except FleetError as error:
+            return self._error(400, str(error))
+        if grant is None:
+            retry_after = round(self.service.fleet.lease_ttl / 3.0, 3)
+            return self._send(200, {"unit": None, "retry_after": retry_after})
+        self._send(200, {"unit": grant})
 
     def _get_record(self, key: str) -> None:
         record, problems = self.service.record(key)

@@ -36,6 +36,8 @@ from ..experiments.registry import SCALES, get_experiment
 from ..runner.cache import cache_key
 from ..runner.engine import SweepEngine, SweepPoint, progress_scope, validate_record
 from .audit import AuditLog
+from .db import ServiceDB
+from .fleet import FleetCoordinator
 from .schemas import version_problem
 
 #: Job lifecycle states.
@@ -158,8 +160,9 @@ class Job:
     ``GET /jobs/<id>`` responses coherent while progress streams in.
     """
 
-    def __init__(self, job_id: str, request: JobRequest) -> None:
+    def __init__(self, job_id: str, request: JobRequest, *, seq: int = 0) -> None:
         self.id = job_id
+        self.seq = seq
         self.request = request
         self.status = QUEUED
         self.error: str | None = None
@@ -277,6 +280,48 @@ class Job:
                 view["payload"] = self.payload
         return view
 
+    # ------------------------------------------------------------------ #
+    # Durability (see repro.service.db)
+    # ------------------------------------------------------------------ #
+    def journal_view(self) -> dict[str, Any]:
+        """The consistent row :meth:`ServiceDB.save_job` persists."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "seq": self.seq,
+                "key": self.request.key,
+                "status": self.status,
+                "request": self.request.to_dict(),
+                "error": self.error,
+                "payload": self.payload,
+                "record_keys": sorted(self._record_keys),
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+            }
+
+    @classmethod
+    def restore(cls, row: dict[str, Any], request: JobRequest) -> "Job":
+        """Rebuild a job from a journal row loaded at boot.
+
+        Terminal rows come back verbatim (payload, record keys, error,
+        timestamps, done-event set).  Non-terminal rows — queued jobs,
+        and running jobs orphaned by a crash — come back ``queued`` with
+        their progress zeroed: the re-run recounts from scratch, and the
+        result cache makes the replay cheap.
+        """
+        job = cls(row["id"], request, seq=row["seq"])
+        job.created = row["created"]
+        if row["status"] in (DONE, FAILED):
+            job.status = row["status"]
+            job.error = row["error"]
+            job.payload = row["payload"]
+            job.started = row["started"]
+            job.finished = row["finished"]
+            job._record_keys = set(row.get("record_keys", []))
+            job._done_event.set()
+        return job
+
 
 class JobService:
     """Queue + dispatcher pool executing jobs on one shared engine.
@@ -300,6 +345,21 @@ class JobService:
         Optional :class:`~repro.service.audit.AuditLog`; every job
         mutation (submit, dedup hit, state transition, drain) is
         appended to it.  ``None`` disables auditing.
+    db:
+        Optional :class:`~repro.service.db.ServiceDB` journal.  With a
+        journal, every submit and state transition is persisted, and
+        construction *recovers* the previous incarnation before any
+        dispatcher thread starts: terminal jobs are restored verbatim
+        (payloads replayed from the journal, records still served by
+        the cache), queued jobs re-enqueued, and jobs that were running
+        when the process died re-enqueued with a ``job.requeued`` audit
+        event.  The service owns the journal: :meth:`drain` closes it.
+    lease_ttl:
+        Heartbeat TTL for the worker fleet (see
+        :class:`~repro.service.fleet.FleetCoordinator`).  The service
+        always constructs a coordinator and installs it as the engine's
+        ``dispatcher`` hook — with no workers registered it is a no-op
+        and every sweep runs locally, exactly as before.
     """
 
     def __init__(
@@ -309,6 +369,8 @@ class JobService:
         workers: int = 2,
         max_finished: int = 256,
         audit: AuditLog | None = None,
+        db: ServiceDB | None = None,
+        lease_ttl: float = 10.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -318,6 +380,11 @@ class JobService:
         self.workers = workers
         self.max_finished = max_finished
         self.audit = audit
+        self.db = db
+        self.fleet = FleetCoordinator(
+            cache=engine.cache, audit=audit, db=db, lease_ttl=lease_ttl
+        )
+        engine.dispatcher = self.fleet
         self._jobs: dict[str, Job] = {}
         self._active: dict[str, Job] = {}
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
@@ -325,6 +392,11 @@ class JobService:
         self._counter = itertools.count(1)
         self._draining = False
         self._drained = False
+        # Recover the journal BEFORE the dispatcher threads exist: the
+        # replayed queue must be fully rebuilt (in original submission
+        # order) by the time anything can pop from it.
+        if db is not None:
+            self._recover(db)
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"job-dispatcher-{i}", daemon=True
@@ -333,6 +405,43 @@ class JobService:
         ]
         for thread in self._threads:
             thread.start()
+
+    def _recover(self, db: ServiceDB) -> None:
+        """Replay the journal into live state (constructor only, no locks)."""
+        requeued = restored = dropped = 0
+        for row in db.load_jobs():
+            try:
+                request = JobRequest.from_payload(row["request"])
+            except RequestError as error:
+                # The experiment registry (or the request schema) moved
+                # under the journal; the row cannot be re-validated, let
+                # alone re-run.  Drop it loudly rather than crash boot.
+                db.delete_job(row["id"])
+                dropped += 1
+                self._audit("job.dropped", job=row["id"], reason=str(error))
+                continue
+            job = Job.restore(row, request)
+            self._jobs[job.id] = job
+            if job.done:
+                restored += 1
+                continue
+            if row["status"] == RUNNING:
+                # Orphaned by the crash: its lease owner (the dead
+                # process) never finished.  Requeue — at-least-once
+                # execution; the result cache absorbs the replay.
+                self._audit("job.requeued", job=job.id, reason="orphaned running")
+            self._active.setdefault(request.key, job)
+            db.save_job(job.journal_view())
+            self._queue.put(job)
+            requeued += 1
+        self._counter = itertools.count(db.max_job_seq() + 1)
+        if requeued or restored or dropped:
+            self._audit(
+                "service.recovered",
+                requeued=requeued,
+                restored=restored,
+                dropped=dropped,
+            )
 
     # ------------------------------------------------------------------ #
     # Submission and lookup
@@ -370,7 +479,8 @@ class JobService:
                 if existing is not None:
                     job, deduplicated = existing, True
                 else:
-                    job = Job(f"job-{next(self._counter):06d}", request)
+                    seq = next(self._counter)
+                    job = Job(f"job-{seq:06d}", request, seq=seq)
                     deduplicated = False
                     self._jobs[job.id] = job
                     self._active[request.key] = job
@@ -380,7 +490,12 @@ class JobService:
                     # run.  SimpleQueue.put never blocks, so holding the
                     # lock here is safe.
                     self._queue.put(job)
-        # Audit outside the lock: log I/O must never serialise submits.
+        # Journal and audit outside the lock: disk I/O (the journal
+        # fsyncs per commit) must never serialise submits.  A crash in
+        # the gap between accept and journal loses only this job row —
+        # the client's retry/wait path resubmits the same request.
+        if job is not None and not deduplicated:
+            self._journal(job)
         if job is None:
             self._audit(
                 "job.refused",
@@ -409,6 +524,11 @@ class JobService:
         if self.audit is not None:
             self.audit.record(event, **fields)
 
+    def _journal(self, job: Job) -> None:
+        """Persist the job's current state, when a journal is configured."""
+        if self.db is not None:
+            self.db.save_job(job.journal_view())
+
     def get(self, job_id: str) -> Job | None:
         """The job with ``job_id``, or ``None`` when unknown."""
         with self._lock:
@@ -425,6 +545,47 @@ class JobService:
         for job in self.jobs():
             summary[job.status] = summary.get(job.status, 0) + 1
         return summary
+
+    def job_index(
+        self,
+        *,
+        status: str | None = None,
+        offset: int = 0,
+        limit: int = 100,
+    ) -> tuple[list[dict[str, Any]], int]:
+        """A filtered, paginated page of job summaries (``GET /jobs``).
+
+        Parameters
+        ----------
+        status:
+            Restrict to one lifecycle state, or ``None`` for all jobs.
+        offset, limit:
+            Slice of the filtered listing, in submission order.
+
+        Returns
+        -------
+        tuple of (summaries, total)
+            The page of :meth:`Job.summary` views and the *total* count
+            of jobs matching the filter (so clients can page without a
+            separate count request).
+
+        Raises
+        ------
+        RequestError
+            On an unknown status or a negative offset/limit.
+        """
+        if status is not None and status not in (QUEUED, RUNNING, DONE, FAILED):
+            raise RequestError(
+                f"unknown status {status!r}; expected one of "
+                f"{[QUEUED, RUNNING, DONE, FAILED]}"
+            )
+        if offset < 0 or limit < 0:
+            raise RequestError("offset and limit must be >= 0")
+        jobs = self.jobs()
+        if status is not None:
+            jobs = [job for job in jobs if job.status == status]
+        page = jobs[offset : offset + limit]
+        return [job.summary() for job in page], len(jobs)
 
     def record(self, key: str) -> tuple[dict | None, list[str]]:
         """A validated v3 sweep record from the engine's result cache.
@@ -465,6 +626,7 @@ class JobService:
         from ..report.emitters import build_payload
 
         job.mark_running()
+        self._journal(job)
         self._audit("job.started", job=job.id, experiment=job.request.experiment)
         try:
             spec = get_experiment(job.request.experiment)
@@ -475,6 +637,7 @@ class JobService:
                     **dict(job.request.overrides),
                 )
             job.mark_done(build_payload(spec, result))
+            self._journal(job)
             progress = job.summary()["progress"]
             self._audit(
                 "job.done",
@@ -486,6 +649,7 @@ class JobService:
             )
         except Exception as error:  # noqa: BLE001 - job isolation boundary
             job.mark_failed(f"{type(error).__name__}: {error}")
+            self._journal(job)
             self._audit(
                 "job.failed", job=job.id, error=f"{type(error).__name__}: {error}"
             )
@@ -500,6 +664,8 @@ class JobService:
         finished = [job_id for job_id, job in self._jobs.items() if job.done]
         for job_id in finished[: max(0, len(finished) - self.max_finished)]:
             del self._jobs[job_id]
+            if self.db is not None:
+                self.db.delete_job(job_id)
 
     # ------------------------------------------------------------------ #
     # Shutdown
@@ -519,6 +685,10 @@ class JobService:
             self._draining = True
         if not already_draining:
             self._audit("service.draining", jobs=self.counts())
+        # Stop offering units to the fleet first: jobs finishing during
+        # the drain fall back to local simulation instead of waiting on
+        # leases that may never complete.
+        self.fleet.drain()
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
@@ -529,6 +699,8 @@ class JobService:
                 return
             self._drained = True
         self._audit("service.drained", jobs=self.counts())
+        if self.db is not None:
+            self.db.close()
 
     @property
     def draining(self) -> bool:

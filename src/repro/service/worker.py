@@ -1,0 +1,237 @@
+"""The fleet worker: lease, simulate, ingest, repeat.
+
+``python -m repro.service worker --server URL`` runs one
+:class:`FleetWorker` against a served repo.  The loop is deliberately
+stateless across iterations — every piece of durable state lives on the
+server (the sqlite journal) or in the content-addressed caches — which
+is what makes the worker crash-*recovering* rather than crash-safe:
+
+* **Registration is disposable.**  A worker id is a lease on the
+  server's attention, not an identity.  Any 404 with ``unknown_worker``
+  (server restarted, heartbeats missed past the TTL) simply triggers
+  re-registration.
+* **Leased work is re-verified.**  The worker rebuilds each unit's
+  :class:`~repro.runner.engine.SweepPoint` from the wire form and
+  checks that the points hash to the exact cache keys the lease
+  promised — any server/worker version skew surfaces as an explicit
+  failure report instead of a silently divergent record.
+* **Results are idempotent.**  Records are deterministic functions of
+  their points, and the ingest endpoint discards duplicates, so a
+  worker that loses a race (its lease expired and another worker
+  finished first) wastes only its own time.
+* **Dying is fine.**  ``kill -9`` mid-unit leaves a lease that expires
+  at TTL; the server requeues the unit for the next worker — or, when
+  the fleet is empty, withdraws it and simulates locally.
+
+The worker shares the :class:`~repro.runner.store.ArtifactStore` (when
+one is configured) but deliberately carries **no result cache**: the
+server owns result durability, and a worker-local cache would only
+hide version-skew bugs behind stale records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..runner.engine import SweepEngine, SweepPoint
+from ..runner.store import ArtifactStore
+from .client import RetryPolicy, ServiceClient, ServiceError
+
+#: Default retry for worker HTTP calls: short and shallow — the outer
+#: loop already retries forever, so deep per-request backoff would only
+#: delay noticing a restarted server.
+WORKER_RETRY = RetryPolicy(attempts=3, base_delay=0.2, max_delay=2.0)
+
+
+class FleetWorker:
+    """One lease-driven simulation worker bound to a service URL.
+
+    Parameters
+    ----------
+    server:
+        Base URL of the service (``http://host:port``).
+    store:
+        Optional shared :class:`~repro.runner.store.ArtifactStore`; with
+        it, workloads/calibrations/decompositions computed by any node
+        are loaded instead of recomputed.
+    jobs:
+        Local simulation parallelism (forwarded to the worker's own
+        :class:`~repro.runner.engine.SweepEngine`).
+    token:
+        Bearer token for an authenticated service.
+    poll:
+        Idle sleep between lease attempts when the server has no work.
+    drag:
+        Artificial delay (seconds) between winning a lease and starting
+        the simulation.  A fault-injection aid: it gives tests and the
+        CI fleet-smoke job a deterministic window in which to ``kill
+        -9`` this worker *mid-unit*.  ``0`` (the default) disables it.
+    on_register:
+        Callback invoked with the worker id after every (re-)
+        registration; the CLI uses it to print a readiness line.
+    retry:
+        Per-request :class:`RetryPolicy` (defaults to
+        :data:`WORKER_RETRY`).
+    """
+
+    def __init__(
+        self,
+        server: str,
+        *,
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+        token: str | None = None,
+        poll: float = 1.0,
+        drag: float = 0.0,
+        on_register: Callable[[str], None] | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.client = ServiceClient(
+            server, token=token, retry=retry if retry is not None else WORKER_RETRY
+        )
+        self.engine = SweepEngine(jobs=jobs, store=store)
+        self.poll = poll
+        self.drag = drag
+        self.on_register = on_register
+        self._worker_id: str | None = None
+        self._id_lock = threading.Lock()
+        self._pending_failure: dict | None = None
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        stop: threading.Event | None = None,
+        *,
+        max_units: int | None = None,
+    ) -> int:
+        """Serve leases until ``stop`` is set (or ``max_units`` complete).
+
+        Returns the number of units completed and ingested.  Never
+        raises on server trouble: connection failures and restarts are
+        absorbed by re-registration and the idle poll.
+        """
+        stop = stop if stop is not None else threading.Event()
+        completed = 0
+        try:
+            while not stop.is_set():
+                if self._worker_id is None and not self._register(stop):
+                    continue
+                try:
+                    failed, self._pending_failure = self._pending_failure, None
+                    grant = self.client.lease(self._worker_id, failed=failed)
+                except ServiceError as error:
+                    self._pending_failure = failed  # re-deliver next time
+                    if error.status == 404:
+                        self._set_worker_id(None)  # re-register
+                    else:
+                        stop.wait(self.poll)  # server unreachable / draining
+                    continue
+                if grant is None:
+                    stop.wait(self.poll)
+                    continue
+                completed += self._execute(grant, stop)
+                if max_units is not None and completed >= max_units:
+                    break
+        finally:
+            self._set_worker_id(None)
+            self.engine.close()
+        return completed
+
+    # ------------------------------------------------------------------ #
+    def _set_worker_id(self, worker_id: str | None) -> None:
+        with self._id_lock:
+            self._worker_id = worker_id
+
+    def _register(self, stop: threading.Event) -> bool:
+        """(Re-)register and start a fresh heartbeat thread."""
+        try:
+            contract = self.client.register_worker()
+        except ServiceError:
+            stop.wait(self.poll)
+            return False
+        worker_id = contract["worker_id"]
+        interval = float(
+            contract.get("heartbeat_interval") or contract.get("ttl", 9.0) / 3.0
+        )
+        self._set_worker_id(worker_id)
+        threading.Thread(
+            target=self._heartbeat_loop,
+            args=(worker_id, interval, stop),
+            name=f"heartbeat-{worker_id}",
+            daemon=True,
+        ).start()
+        if self.on_register is not None:
+            self.on_register(worker_id)
+        return True
+
+    def _heartbeat_loop(
+        self, worker_id: str, interval: float, stop: threading.Event
+    ) -> None:
+        """Renew this registration until it is superseded or stopped.
+
+        Heartbeats are what keep leases alive across simulations longer
+        than the TTL, so this runs on its own thread.  A 404 means the
+        server forgot us (restart); the thread exits and the main loop
+        re-registers on its next lease attempt.
+        """
+        while not stop.wait(interval):
+            with self._id_lock:
+                if self._worker_id != worker_id:
+                    return
+            try:
+                self.client.worker_heartbeat(worker_id)
+            except ServiceError as error:
+                if error.status == 404:
+                    return
+                # Unreachable server: keep trying — the main loop owns
+                # the decision to re-register.
+
+    def _execute(self, grant: dict, stop: threading.Event) -> int:
+        """Simulate one leased unit and ingest its records.
+
+        Returns 1 on a completed ingest, 0 otherwise (failures are
+        reported back on the next lease call; late or unknown-unit
+        deliveries are dropped — the server has already moved on).
+        """
+        unit_id = grant["id"]
+        keys = grant["keys"]
+        try:
+            points = [SweepPoint.from_dict(data) for data in grant["points"]]
+            actual = [point.cache_key() for point in points]
+            if actual != keys:
+                raise ValueError(
+                    "leased cache keys do not round-trip; server/worker "
+                    "version skew"
+                )
+        except Exception as error:  # noqa: BLE001 - report, don't die
+            self._pending_failure = {
+                "unit": unit_id,
+                "error": f"{type(error).__name__}: {error}",
+            }
+            return 0
+        if self.drag > 0:
+            # Fault-injection window: a deliberately dragged worker can
+            # be killed mid-unit deterministically by tests/CI.
+            deadline = time.monotonic() + self.drag
+            while time.monotonic() < deadline and not stop.is_set():
+                time.sleep(min(0.05, self.drag))
+        try:
+            records = self.engine.run(points)
+        except Exception as error:  # noqa: BLE001 - unit isolation boundary
+            self._pending_failure = {
+                "unit": unit_id,
+                "error": f"{type(error).__name__}: {error}",
+            }
+            return 0
+        try:
+            self.client.ingest(self._worker_id, unit_id, dict(zip(keys, records)))
+        except ServiceError as error:
+            if error.status == 404:
+                self._set_worker_id(None)
+            # 400 "unknown unit": the lease expired and the unit
+            # completed elsewhere or was withdrawn — the work is simply
+            # lost, which at-least-once semantics explicitly allows.
+            return 0
+        return 1

@@ -382,6 +382,94 @@ class TestEngineReentrancy:
         assert records[0]["key"] == point.cache_key()
         assert engine._inflight == {}
 
+    def test_dead_owner_without_cache_makes_waiters_recompute(
+        self, monkeypatch
+    ):
+        """Cacheless dead-owner fallback: every waiter recomputes.
+
+        With a cache, the first waiter to recover re-caches the record
+        for the others.  Without one, the degraded-but-correct contract
+        is that each waiter falls back to its own (deterministic)
+        simulation — counted as ``executed``, never ``inflight_hits``,
+        and the in-flight table still drains.
+        """
+        calls: list[str] = []
+        lock = threading.Lock()
+        fail_first = threading.Event()
+
+        def flaky_simulate(point):
+            with lock:
+                calls.append(point.cache_key())
+            first = not fail_first.is_set()
+            fail_first.set()
+            if first:
+                time.sleep(0.3)  # hold the claim until the waiters join
+                raise RuntimeError("synthetic owner death")
+            return {"schema": 3, "key": point.cache_key()}
+
+        monkeypatch.setattr(engine_module, "simulate_point", flaky_simulate)
+        engine = SweepEngine(jobs=1)  # no result cache
+        point = tiny_point()
+        runners = 3
+        barrier = threading.Barrier(runners)
+        outcomes: list[object] = [None] * runners
+
+        def run(i: int) -> None:
+            barrier.wait()
+            try:
+                outcomes[i] = engine.run([point])[0]
+            except RuntimeError as error:
+                outcomes[i] = error
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(runners)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "waiter wedged on a dead owner"
+
+        errors = [o for o in outcomes if isinstance(o, RuntimeError)]
+        records = [o for o in outcomes if isinstance(o, dict)]
+        assert len(errors) == 1 and len(records) == 2, outcomes
+        assert all(r["key"] == point.cache_key() for r in records)
+        assert len(calls) == 3, "each waiter must recompute once"
+        assert engine.stats.executed == 2
+        assert engine.stats.inflight_hits == 0
+        assert engine.stats.cache_hits == 0
+        assert engine._inflight == {}, "in-flight table must drain"
+
+    def test_inflight_wait_counts_hit_even_without_cache(self, monkeypatch):
+        calls: list[str] = []
+        lock = threading.Lock()
+
+        def slow_simulate(point):
+            with lock:
+                calls.append(point.cache_key())
+            time.sleep(0.2)
+            return {"schema": 3, "key": point.cache_key()}
+
+        monkeypatch.setattr(engine_module, "simulate_point", slow_simulate)
+        engine = SweepEngine(jobs=1)  # no result cache
+        point = tiny_point()
+        barrier = threading.Barrier(2)
+        results: list[object] = [None, None]
+
+        def run(i: int) -> None:
+            barrier.wait()
+            results[i] = engine.run([point])[0]
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert len(calls) == 1, "the waiter must reuse the owner's record"
+        assert results[0] == results[1]
+        assert engine.stats.executed == 1
+        assert engine.stats.inflight_hits == 1
+        assert engine._inflight == {}
+
     def test_progress_scope_hooks_are_thread_local(self, tmp_path, monkeypatch):
         monkeypatch.setattr(
             engine_module,

@@ -447,3 +447,51 @@ class TestKillDuringDrain:
         events = [entry["event"] for entry in AuditLog(audit_log).entries()]
         assert events.count("service.draining") >= 1
         assert "job.submitted" in events and "job.done" in events
+
+
+class TestWorkerVanishesMidLease:
+    """A fleet worker leases a unit and silently dies (in-process).
+
+    The fast counterpart of the subprocess ``kill -9`` test in
+    ``test_fabric.py``: the lease must expire at TTL, and with the fleet
+    then empty the unit falls back to local simulation — the job
+    completes as if the worker had never existed.
+    """
+
+    def test_job_completes_via_local_fallback(self, tmp_path):
+        engine = SweepEngine(
+            cache=ResultCache(tmp_path / "cache"),
+            store=ArtifactStore(tmp_path / "store"),
+        )
+        service = JobService(engine, workers=2, lease_ttl=0.4)
+        server = serve(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(server.url, retry=FAST_RETRY)
+            worker_id = client.register_worker()["worker_id"]
+            submitted = client.submit("fig12", scale="tiny")
+
+            # Steal a lease for the job's first unit, then vanish: no
+            # heartbeat, no ingest, no failure report.
+            grant = None
+            deadline = time.monotonic() + 30
+            while grant is None and time.monotonic() < deadline:
+                grant = client.lease(worker_id)
+                if grant is None:
+                    time.sleep(0.02)
+            assert grant is not None, "the worker never got a lease"
+
+            job = client.wait_for(submitted["id"], timeout=300)
+            assert job["status"] == DONE
+            assert job["record_keys"]
+            # Nothing was ever ingested: every record ran locally.
+            assert engine.stats.remote_hits == 0
+            counts = service.fleet.counts()
+            assert counts["leases_expired"] >= 1
+            assert counts["units_completed"] == 0
+        finally:
+            service.drain()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
