@@ -6,6 +6,7 @@ from .synthetic import (
     make_dataset,
     make_event_dataset,
     make_image_dataset,
+    make_sequence_dataset,
     make_text_dataset,
 )
 
@@ -14,6 +15,7 @@ __all__ = [
     "make_dataset",
     "make_image_dataset",
     "make_event_dataset",
+    "make_sequence_dataset",
     "make_text_dataset",
     "available_datasets",
 ]

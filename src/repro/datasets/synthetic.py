@@ -36,7 +36,7 @@ class Dataset:
     num_classes:
         Number of distinct classes.
     kind:
-        One of ``"image"``, ``"event"`` or ``"text"``.
+        One of ``"image"``, ``"event"``, ``"text"`` or ``"sequence"``.
     """
 
     name: str
@@ -216,6 +216,57 @@ def make_text_dataset(
     )
 
 
+def make_sequence_dataset(
+    name: str = "speechcmd",
+    *,
+    num_classes: int = 10,
+    num_train: int = 96,
+    num_test: int = 48,
+    num_steps: int = 8,
+    num_features: int = 32,
+    spike_rate: float = 0.15,
+    seed: int = 4,
+) -> Dataset:
+    """Synthetic speech-commands-style binary feature-frame sequences.
+
+    Each sample is a binary ``(T, F)`` tensor standing in for spike-coded
+    audio feature frames (e.g. thresholded mel filterbanks).  The
+    per-class firing-probability profile sweeps across the feature axis
+    over time, mimicking the formant trajectories that make keyword
+    classes separable — and giving the recurrent models temporally
+    *correlated* spike patterns rather than i.i.d. noise.
+    """
+    rng = np.random.default_rng(seed)
+    shape = (num_steps, num_features)
+    prototypes = _class_prototypes(num_classes, shape, rng)
+    prototypes = prototypes / prototypes.mean(axis=(1, 2), keepdims=True) * spike_rate
+    prototypes = np.clip(prototypes, 0.0, 1.0)
+
+    def sample(count: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        data = np.zeros((count,) + shape)
+        for i, label in enumerate(labels):
+            base = prototypes[label]
+            for t in range(num_steps):
+                # The class profile drifts along the feature axis over
+                # time, like a formant sweeping through filterbank bins.
+                shifted = np.roll(base[t], shift=t, axis=-1)
+                data[i, t] = (rng.random(num_features) < shifted).astype(np.float64)
+        return data, labels
+
+    train_data, train_labels = sample(num_train)
+    test_data, test_labels = sample(num_test)
+    return Dataset(
+        name=name,
+        train_data=train_data,
+        train_labels=train_labels,
+        test_data=test_data,
+        test_labels=test_labels,
+        num_classes=num_classes,
+        kind="sequence",
+    )
+
+
 _DATASET_BUILDERS = {
     "cifar10": lambda **kw: make_image_dataset("cifar10", num_classes=10, **kw),
     "cifar100": lambda **kw: make_image_dataset(
@@ -229,6 +280,7 @@ _DATASET_BUILDERS = {
     "mnli": lambda **kw: make_text_dataset(
         "mnli", num_classes=3, seed=kw.pop("seed", 7), **kw
     ),
+    "speechcmd": lambda **kw: make_sequence_dataset("speechcmd", num_classes=10, **kw),
 }
 
 

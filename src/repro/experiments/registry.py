@@ -370,6 +370,20 @@ REGISTRY: tuple[ExperimentSpec, ...] = (
             "over an order of magnitude on every workload."
         ),
     ),
+    _spec(
+        "temporal",
+        kind="analysis",
+        paper_ref="Extension (temporal)",
+        section="Section 6.2",
+        claim=(
+            "Phi's hierarchical sparsity advantage over Spiking Eyeriss, "
+            "PTB, SATO, SpinalFlow and Stellar carries over to recurrent "
+            "workloads unrolled per time step, where activation density "
+            "rises step by step as membrane state accumulates."
+        ),
+        uses_engine=True,
+        presets={"tiny": {"workloads": (("spikingrnn", "speechcmd"),)}},
+    ),
 )
 
 _BY_NAME: dict[str, ExperimentSpec] = {spec.name: spec for spec in REGISTRY}

@@ -107,8 +107,14 @@ class L1Processor:
         matrix = np.asarray(pattern_index_matrix)
         if matrix.ndim != 2:
             raise ValueError("pattern_index_matrix must be 2-D")
-        q = num_patterns_per_partition or self.config.num_patterns
-        n = output_width or self.config.tile_n
+        # ``is None`` (not ``or``): an explicit 0 is a legal degenerate
+        # width/count and must not fall back to the config default.
+        q = (
+            self.config.num_patterns
+            if num_patterns_per_partition is None
+            else num_patterns_per_partition
+        )
+        n = self.config.tile_n if output_width is None else output_width
         rows, partitions = matrix.shape
         group = 16  # indices examined per cycle
         lanes = self.config.num_channels  # PWPs forwarded to the adder tree per cycle

@@ -82,7 +82,9 @@ class L2Processor:
         self, packs: list[Pack], *, output_width: int | None = None
     ) -> L2Result:
         """Process all packs of one output tile."""
-        n = output_width or self.config.tile_n
+        # ``is None`` (not ``or``): an explicit 0-wide tile must not fall
+        # back to the config default.
+        n = self.config.tile_n if output_width is None else output_width
         weight_acc = 0
         psum_acc = 0
         total_units = 0
@@ -137,7 +139,7 @@ class L2Processor:
         the exact :class:`L2Result` that processing the materialised packs
         would.
         """
-        n = output_width or self.config.tile_n
+        n = self.config.tile_n if output_width is None else output_width
         cycles = counts.num_packs
         if counts.num_packs:
             cycles += self.PIPELINE_DEPTH

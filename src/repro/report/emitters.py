@@ -571,6 +571,71 @@ def _discussion_payload(result) -> dict:
     }
 
 
+def _temporal_payload(result) -> dict:
+    accelerators = sorted(
+        {name for c in result.comparisons for name in c.speedup},
+        key=lambda name: ("phi" in name, name),
+    )
+    speedup_rows = []
+    for comparison in result.comparisons:
+        speedup_rows.append(
+            {"workload": comparison.key, **{a: comparison.speedup.get(a) for a in accelerators}}
+        )
+    speedup_rows.append({"workload": "**geomean**", **result.geomean_speedup()})
+
+    steps = sorted({s for c in result.comparisons for s in c.density_by_step})
+    density_rows = [
+        {
+            "workload": c.key,
+            **{f"t{s}": c.density_by_step.get(s) for s in steps},
+        }
+        for c in result.comparisons
+    ]
+    workloads = [c.key for c in result.comparisons]
+    panels = [
+        _panel(
+            "Speedup on time-unrolled workloads (vs Spiking Eyeriss)",
+            "grouped_bar",
+            workloads,
+            [
+                {"label": a, "values": [c.speedup.get(a, 0.0) for c in result.comparisons]}
+                for a in accelerators
+            ],
+            ylabel="speedup",
+        ),
+        _panel(
+            "Activation density per time step",
+            "line",
+            steps,
+            [
+                {
+                    "label": c.key,
+                    "values": [c.density_by_step.get(s, 0.0) for s in steps],
+                }
+                for c in result.comparisons
+            ],
+            xlabel="time step",
+            ylabel="bit density",
+        ),
+    ]
+    geo = result.geomean_speedup()
+    return {
+        "tables": [
+            _table("Speedup on time-unrolled workloads", speedup_rows),
+            _table("Per-step activation bit density", density_rows),
+        ],
+        "metrics": {
+            "geomean_speedup_phi": geo.get("phi"),
+            "geomean_speedup_phi_paft": geo.get("phi_paft"),
+        },
+        "notes": [
+            "Each GEMM covers one (layer, time step) pair; feed-forward "
+            "workloads appear for contrast with a flat density profile."
+        ],
+        "figure": {"panels": panels},
+    }
+
+
 #: Payload builder per registered experiment name.
 PAYLOAD_BUILDERS: dict[str, Callable[[Any], dict]] = {
     "fig1": _fig1_payload,
@@ -584,6 +649,7 @@ PAYLOAD_BUILDERS: dict[str, Callable[[Any], dict]] = {
     "table3": _table3_payload,
     "table4": _table4_payload,
     "discussion": _discussion_payload,
+    "temporal": _temporal_payload,
 }
 
 

@@ -12,11 +12,19 @@ Other figures, any registered experiment, and a generic grid sweep::
     python -m repro.runner fig8 --jobs 4
     python -m repro.runner fig12
     python -m repro.runner exp table4 --scale tiny --jobs 4
+    python -m repro.runner exp temporal --scale tiny
     python -m repro.runner sweep --model vgg16 --dataset cifar100 \
         --patterns 8,16,32,64 --jobs 4
+    python -m repro.runner trace import dump.npz --name mytrace
+    python -m repro.runner sweep --trace mytrace --patterns 16,32
     python -m repro.runner cache --clear
     python -m repro.runner store --clear
     python -m repro.runner validate-cache
+
+``trace import`` registers recorded activations (an ``.npz`` with paired
+``act:<layer>`` / ``weight:<layer>`` arrays) as a first-class store
+artifact; ``sweep --trace`` then simulates the imported workload instead
+of a generated one.
 
 ``exp`` accepts every name in the experiment registry
 (:mod:`repro.experiments.registry`); the full multi-experiment report is
@@ -26,12 +34,13 @@ Other figures, any registered experiment, and a generic grid sweep::
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
 from .cache import ResultCache, default_cache_dir
 from .engine import SweepEngine, SweepPoint, WorkloadSpec
-from .store import ArtifactStore, default_store_dir
+from .store import KIND_TRACE, ArtifactStore, default_store_dir
 
 
 def _scale(name: str):
@@ -212,6 +221,107 @@ def _cmd_exp(args: argparse.Namespace) -> int:
     return 0
 
 
+def load_trace_npz(path: pathlib.Path | str, *, model: str) -> "ModelWorkload":
+    """Parse a trace ``.npz`` dump into a :class:`ModelWorkload`.
+
+    The archive must hold one ``act:<layer>`` binary activation matrix
+    and one ``weight:<layer>`` weight matrix per recorded GEMM; layers
+    keep the archive's order.  Any structural problem — unreadable
+    archive, unpaired arrays, shape/K mismatches, non-binary activations
+    — raises ``ValueError`` with the offending layer named.
+    """
+    import numpy as np
+
+    from ..workloads.workload import LayerWorkload, ModelWorkload
+
+    try:
+        archive = np.load(path)
+        files = list(archive.files)
+    except Exception as error:
+        raise ValueError(f"cannot read trace archive {path}: {error}") from error
+    names = [key[len("act:"):] for key in files if key.startswith("act:")]
+    if not names:
+        raise ValueError(
+            f"trace archive {path} holds no 'act:<layer>' arrays; expected "
+            "paired 'act:<layer>' / 'weight:<layer>' entries"
+        )
+    expected = {f"act:{n}" for n in names} | {f"weight:{n}" for n in names}
+    stray = sorted(set(files) - expected)
+    missing = sorted(expected - set(files))
+    if missing or stray:
+        raise ValueError(
+            f"trace archive {path} is malformed: "
+            f"missing {missing or 'nothing'}, unexpected {stray or 'nothing'}"
+        )
+    workload = ModelWorkload(model_name=model, dataset_name="trace")
+    for name in names:
+        try:
+            workload.add(
+                LayerWorkload(
+                    name=name,
+                    activations=archive[f"act:{name}"],
+                    weights=archive[f"weight:{name}"],
+                )
+            )
+        except ValueError as error:
+            raise ValueError(f"trace layer {name!r}: {error}") from error
+    return workload
+
+
+def _trace_summary(name: str, workload) -> str:
+    from ..experiments.common import format_table
+
+    rows = [
+        {
+            "layer": layer.name,
+            "M": layer.m,
+            "K": layer.k,
+            "N": layer.n,
+            "bit_density": round(layer.bit_density, 4),
+        }
+        for layer in workload
+    ]
+    header = (
+        f"trace {name!r}: {len(workload)} layers, "
+        f"model {workload.model_name!r}"
+    )
+    return header + "\n" + format_table(rows)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store_dir)
+    if args.trace_command == "import":
+        path = pathlib.Path(args.npz)
+        name = args.name or path.stem
+        try:
+            workload = load_trace_npz(path, model=args.model or name)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        key = store.trace_key(name)
+        store.put(KIND_TRACE, key, workload)
+        stored = store.get(KIND_TRACE, key)
+        if stored is None:
+            print(
+                f"error: trace {name!r} could not be persisted to {store.root}",
+                file=sys.stderr,
+            )
+            return 1
+        print(_trace_summary(name, stored))
+        print(f"registered as {key} in {store.root}")
+        return 0
+    workload = store.get(KIND_TRACE, store.trace_key(args.name))
+    if workload is None:
+        print(
+            f"error: trace {args.name!r} not found in {store.root}; "
+            "register it with 'python -m repro.runner trace import <npz>'",
+            file=sys.stderr,
+        )
+        return 1
+    print(_trace_summary(args.name, workload))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from ..experiments.common import format_table
 
@@ -224,12 +334,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     scale = _scale(args.scale)
     pattern_counts = [int(q) for q in args.patterns.split(",") if q]
-    spec = WorkloadSpec(
-        model=args.model,
-        dataset=args.dataset,
-        batch_size=scale.batch_size,
-        num_steps=scale.num_steps,
-    )
+    if args.trace:
+        if args.no_store:
+            print(
+                "error: --trace needs the artifact store (drop --no-store)",
+                file=sys.stderr,
+            )
+            return 2
+        spec = WorkloadSpec.from_trace(args.trace)
+    else:
+        spec = WorkloadSpec(
+            model=args.model,
+            dataset=args.dataset,
+            batch_size=scale.batch_size,
+            num_steps=scale.num_steps,
+        )
     points = [
         SweepPoint(
             workload=spec,
@@ -367,7 +486,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="8,16,32,64,128",
         help="comma-separated pattern counts (default: %(default)s)",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="NAME",
+        help="sweep an imported trace instead of a generated model workload",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "trace", help="import or inspect recorded activation traces"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    pi = trace_sub.add_parser(
+        "import", help="register an .npz activation dump as a store artifact"
+    )
+    pi.add_argument("npz", help="archive with paired act:<layer>/weight:<layer> arrays")
+    pi.add_argument("--name", default=None, help="trace name (default: npz stem)")
+    pi.add_argument("--model", default=None, help="model label (default: trace name)")
+    pi.add_argument("--store-dir", default=default_store_dir())
+    pi.set_defaults(func=_cmd_trace)
+    ps = trace_sub.add_parser("show", help="summarise a registered trace")
+    ps.add_argument("name", help="trace name used at import time")
+    ps.add_argument("--store-dir", default=default_store_dir())
+    ps.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("--cache-dir", default=default_cache_dir())

@@ -50,11 +50,13 @@ from ..hw.energy import PhiEnergyModel
 from ..hw.pipeline import AcceleratorModel, LayerResult, RunResult
 from ..hw.simulator import PhiSimulator
 from ..workloads.generator import cached_workload, generate_random_workload
+from ..workloads.temporal import cached_temporal_workload
 from ..workloads.workload import LayerWorkload, ModelWorkload
 from .cache import ResultCache, cache_key
 from .store import (
     KIND_CALIBRATION,
     KIND_DECOMPOSITION,
+    KIND_TRACE,
     KIND_WORKLOAD,
     ArtifactStore,
     DecompositionArtifact,
@@ -100,6 +102,14 @@ class WorkloadSpec:
     density, dims:
         Only for random workloads (see :meth:`random`): the probability of
         a 1 bit and the ``(m, k, n)`` GEMM dimensions.
+    temporal:
+        Unroll each GEMM per time step (layer names carry the step, see
+        :mod:`repro.workloads.temporal`) instead of stacking the steps
+        into one tall matrix.
+    trace:
+        Name of an imported activation trace (see :meth:`from_trace`):
+        the workload is loaded from the artifact store's trace entry
+        instead of being generated.
     """
 
     model: str
@@ -112,12 +122,28 @@ class WorkloadSpec:
     paft_seed: int = 0
     density: float | None = None
     dims: tuple[int, int, int] | None = None
+    temporal: bool = False
+    trace: str | None = None
 
     def __post_init__(self) -> None:
         if self.is_random and (self.density is None or self.dims is None):
             raise ValueError(
                 "random workload specs need density and dims; "
                 "build them with WorkloadSpec.random()"
+            )
+        if self.trace is not None and self.dataset != "trace":
+            raise ValueError(
+                "trace specs must use dataset='trace'; "
+                "build them with WorkloadSpec.from_trace()"
+            )
+        if self.trace is None and self.dataset == "trace":
+            raise ValueError(
+                "dataset='trace' needs a trace name; "
+                "build the spec with WorkloadSpec.from_trace()"
+            )
+        if self.temporal and (self.is_random or self.is_trace):
+            raise ValueError(
+                "temporal unrolling applies to generated model workloads only"
             )
 
     @classmethod
@@ -155,10 +181,33 @@ class WorkloadSpec:
             dims=(m, k, n),
         )
 
+    @classmethod
+    def from_trace(cls, name: str) -> "WorkloadSpec":
+        """Spec for a workload imported with ``repro.runner trace import``.
+
+        Parameters
+        ----------
+        name:
+            The name the trace was registered under.
+
+        Returns
+        -------
+        WorkloadSpec
+            A spec whose ``dataset`` is ``"trace"``; the engine resolves
+            it by loading the store's trace artifact instead of running
+            a generator, so simulating it requires an artifact store.
+        """
+        return cls(model=str(name), dataset="trace", trace=str(name))
+
     @property
     def is_random(self) -> bool:
         """Whether this spec describes a random binary workload."""
         return self.dataset == "random"
+
+    @property
+    def is_trace(self) -> bool:
+        """Whether this spec loads an imported trace from the store."""
+        return self.trace is not None
 
     @property
     def key(self) -> str:
@@ -166,8 +215,13 @@ class WorkloadSpec:
         return f"{self.model}/{self.dataset}"
 
     def to_dict(self) -> dict:
-        """Serialise the spec to plain Python types (cache-key payload)."""
-        return {
+        """Serialise the spec to plain Python types (cache-key payload).
+
+        ``temporal`` and ``trace`` are emitted only when set: specs that
+        predate them serialise exactly as before, so their cache/store
+        keys (and the store's v2-compat probes) stay byte-identical.
+        """
+        data = {
             "model": self.model,
             "dataset": self.dataset,
             "batch_size": self.batch_size,
@@ -179,6 +233,11 @@ class WorkloadSpec:
             "density": self.density,
             "dims": list(self.dims) if self.dims is not None else None,
         }
+        if self.temporal:
+            data["temporal"] = True
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkloadSpec":
@@ -397,14 +456,37 @@ def _artifact_payload(spec: WorkloadSpec, config: PhiConfig | None) -> dict:
     }
 
 
+def _trace_workload(spec: WorkloadSpec) -> ModelWorkload:
+    """Load the imported trace workload named by ``spec`` from the store.
+
+    Traces are first-class store artifacts: there is no generator to
+    fall back to, so a missing store or a missing entry is an error with
+    a pointer at the ``trace import`` CLI, never a silent regeneration.
+    """
+    store = _current_store()
+    if store is None:
+        raise RuntimeError(
+            f"trace workload {spec.trace!r} needs an artifact store; "
+            "run with --store-dir (or pass store= to the engine)"
+        )
+    workload = store.get(KIND_TRACE, store.trace_key(spec.trace))
+    if workload is None:
+        raise RuntimeError(
+            f"trace {spec.trace!r} not found in artifact store {store.root}; "
+            "register it with 'python -m repro.runner trace import <npz>'"
+        )
+    return workload
+
+
 def _stored_base_workload(spec: WorkloadSpec) -> ModelWorkload:
     """Base workload for ``spec``: store hit or generate-and-store."""
     spec = _base_spec(spec)
+    if spec.is_trace:
+        return _trace_workload(spec)
     store = _current_store()
     if store is None:
         return _base_workload(spec)
-    key = store.key(KIND_WORKLOAD, _artifact_payload(spec, None))
-    workload = store.get(KIND_WORKLOAD, key)
+    key, workload = store.lookup(KIND_WORKLOAD, _artifact_payload(spec, None))
     if workload is None:
         workload = _base_workload(spec)
         store.put(KIND_WORKLOAD, key, workload)
@@ -423,8 +505,7 @@ def _stored_calibration(
     store = _current_store()
     if store is None:
         return calibration_for(workload, config)
-    key = store.key(KIND_CALIBRATION, _artifact_payload(spec, config))
-    calibration = store.get(KIND_CALIBRATION, key)
+    key, calibration = store.lookup(KIND_CALIBRATION, _artifact_payload(spec, config))
     if calibration is None:
         calibration = calibration_for(workload, config)
         store.put(KIND_CALIBRATION, key, calibration)
@@ -451,8 +532,7 @@ def _stored_decompositions(
             for layer in workload
             if layer.name in calibration
         }
-    key = store.key(KIND_DECOMPOSITION, _artifact_payload(spec, config))
-    found = store.get(KIND_DECOMPOSITION, key)
+    key, found = store.lookup(KIND_DECOMPOSITION, _artifact_payload(spec, config))
     if found is None:
         decompositions = {
             layer.name: calibration[layer.name].decompose(layer.activations)
@@ -472,10 +552,13 @@ def _seed_workload(spec: WorkloadSpec) -> None:
 
 
 def _base_workload(spec: WorkloadSpec) -> ModelWorkload:
+    if spec.is_trace:
+        return _trace_workload(spec)
     if spec.is_random:
         m, k, n = spec.dims
         return _random_workload(spec.density, m, k, n, spec.seed, spec.model)
-    return cached_workload(
+    generator = cached_temporal_workload if spec.temporal else cached_workload
+    return generator(
         spec.model,
         spec.dataset,
         batch_size=spec.batch_size,
@@ -538,8 +621,7 @@ def _resolve_workload(point: SweepPoint) -> ModelWorkload:
     if store is not None:
         # Aligned workloads are themselves store artifacts, keyed by the
         # full spec (PAFT fields included) plus the aligning PhiConfig.
-        key = store.key(KIND_WORKLOAD, _artifact_payload(spec, point.phi))
-        aligned = store.get(KIND_WORKLOAD, key)
+        key, aligned = store.lookup(KIND_WORKLOAD, _artifact_payload(spec, point.phi))
         if aligned is not None:
             return aligned
     base_spec = _base_spec(spec)
@@ -1389,7 +1471,9 @@ class SweepEngine:
         seen: set[WorkloadSpec] = set()
         for indices in pending.values():
             spec = _base_spec(points[indices[0]].workload)
-            if spec in seen:
+            # Trace workloads already live in the store — there is
+            # nothing to materialise.
+            if spec in seen or spec.is_trace:
                 continue
             seen.add(spec)
             key = self.store.key(KIND_WORKLOAD, _artifact_payload(spec, None))

@@ -31,6 +31,7 @@ from .layers import (
     MaxPool2d,
 )
 from .network import SpikingNetwork
+from .recurrent import RecurrentSpikingCell
 from .surrogate import ArctanSurrogate
 
 
@@ -40,7 +41,7 @@ class ModelSpec:
 
     model_name: str
     dataset_name: str
-    input_kind: str  # "image", "event", or "text"
+    input_kind: str  # "image", "event", "text", or "sequence"
 
     @property
     def key(self) -> str:
@@ -523,6 +524,39 @@ def build_spikingbert(
     )
 
 
+def build_spiking_rnn(
+    *,
+    num_classes: int = 10,
+    num_features: int = 32,
+    hidden_sizes: tuple[int, ...] = (64, 48),
+    num_steps: int = 4,
+    seed: int = 4,
+    threshold: float = 1.0,
+    name: str = "spikingrnn",
+) -> SpikingNetwork:
+    """Build a small recurrent SNN (speech-commands-shaped SpikingRNN).
+
+    A stack of :class:`~repro.snn.recurrent.RecurrentSpikingCell` layers
+    over binary feature frames, closed by a linear readout.  Unlike the
+    feed-forward zoo models, every hidden layer carries leaky state *and*
+    a recurrent spike GEMM across time steps, so its per-timestep
+    activation matrices exhibit the temporal sparsity structure the
+    ``temporal`` experiment sweeps.
+    """
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = []
+    width = num_features
+    for index, hidden in enumerate(hidden_sizes):
+        layers.append(
+            RecurrentSpikingCell(
+                width, hidden, threshold=threshold, name=f"rnn{index}", rng=rng
+            )
+        )
+        width = hidden
+    layers.append(Linear(width, num_classes, name="classifier", rng=rng))
+    return SpikingNetwork(layers, num_steps=num_steps, name=name)
+
+
 _BUILDERS = {
     "vgg16": build_spiking_vgg,
     "resnet18": build_spiking_resnet,
@@ -530,6 +564,7 @@ _BUILDERS = {
     "sdt": build_sdt,
     "spikebert": build_spikebert,
     "spikingbert": build_spikingbert,
+    "spikingrnn": build_spiking_rnn,
 }
 
 

@@ -34,6 +34,9 @@ def _build_model_for_dataset(
     elif dataset.kind == "text":
         seq_len = dataset.input_shape[0]
         kwargs.update(seq_len=seq_len)
+    elif dataset.kind == "sequence":
+        _, num_features = dataset.input_shape
+        kwargs.update(num_features=num_features)
     else:  # pragma: no cover - defensive
         raise ValueError(f"unknown dataset kind {dataset.kind!r}")
     return build_model(spec.model_name, **kwargs)
@@ -100,10 +103,11 @@ def generate_workload(
 
     data = dataset.test_data if split == "test" else dataset.train_data
     batch = data[:batch_size]
-    pre_encoded = dataset.kind == "event"
+    pre_encoded = dataset.kind in ("event", "sequence")
     if pre_encoded:
-        # Event data is (B, T, C, H, W); re-bin its frames to the network's
-        # time-step count and move time to the front: (T, B, C, H, W).
+        # Event data is (B, T, C, H, W) and sequence data (B, T, F);
+        # re-bin the frames to the network's time-step count and move
+        # time to the front: (T, B, ...).
         batch = np.stack(
             [event_stream_encode(sample, num_steps) for sample in batch], axis=1
         )

@@ -109,7 +109,19 @@ class ModelWorkload:
         return self.layers[index]
 
     def add(self, layer: LayerWorkload) -> None:
-        """Append a layer workload."""
+        """Append a layer workload.
+
+        Layer names must be unique within a model:
+        :meth:`activation_matrices`, :meth:`weight_matrices` and
+        :meth:`summary` key their results by name, so a duplicate would
+        silently shadow an earlier layer in every consumer.
+        """
+        if any(existing.name == layer.name for existing in self.layers):
+            raise ValueError(
+                f"duplicate layer name {layer.name!r} in workload {self.key!r}; "
+                "layer names must be unique (temporal unrolling should encode "
+                "the time step in the name, e.g. 'fc1@t0')"
+            )
         self.layers.append(layer)
 
     def layer_names(self) -> list[str]:

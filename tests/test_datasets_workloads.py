@@ -8,6 +8,7 @@ from repro.datasets import (
     make_dataset,
     make_event_dataset,
     make_image_dataset,
+    make_sequence_dataset,
     make_text_dataset,
 )
 from repro.workloads import (
@@ -23,6 +24,7 @@ class TestSyntheticDatasets:
     def test_available(self):
         assert set(available_datasets()) == {
             "cifar10", "cifar100", "cifar10dvs", "sst2", "sst5", "mnli",
+            "speechcmd",
         }
 
     def test_unknown(self):
@@ -46,6 +48,14 @@ class TestSyntheticDatasets:
         assert dataset.train_data.shape == (10, 3, 2, 8, 8)
         assert set(np.unique(dataset.train_data)) <= {0.0, 1.0}
         assert dataset.kind == "event"
+
+    def test_sequence_dataset_binary_frames(self):
+        dataset = make_sequence_dataset(
+            num_train=10, num_test=5, num_steps=6, num_features=16
+        )
+        assert dataset.train_data.shape == (10, 6, 16)
+        assert set(np.unique(dataset.train_data)) <= {0.0, 1.0}
+        assert dataset.kind == "sequence"
 
     def test_text_dataset_tokens(self):
         dataset = make_text_dataset(num_train=20, num_test=10, seq_len=8, vocab_size=64)
@@ -109,6 +119,20 @@ class TestModelWorkload:
         activations = vgg_workload.activation_matrices()
         weights = vgg_workload.weight_matrices()
         assert set(activations) == set(weights)
+
+    def test_rejects_duplicate_layer_names(self, rng):
+        # Regression: add() silently accepted duplicates, after which
+        # summary()/activation_matrices() dropped all but the last layer.
+        workload = ModelWorkload(model_name="m", dataset_name="d")
+        activations = (rng.random((4, 8)) < 0.3).astype(np.uint8)
+        weights = rng.standard_normal((8, 2))
+        workload.add(LayerWorkload("fc1", activations, weights))
+        with pytest.raises(ValueError, match="duplicate layer name"):
+            workload.add(LayerWorkload("fc1", activations, weights))
+        # Timestep-suffixed names stay distinct.
+        workload.add(LayerWorkload("fc1@t0", activations, weights))
+        workload.add(LayerWorkload("fc1@t1", activations, weights))
+        assert workload.layer_names() == ["fc1", "fc1@t0", "fc1@t1"]
 
 
 class TestWorkloadGeneration:

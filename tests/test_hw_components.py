@@ -245,6 +245,21 @@ class TestL1Processor:
         with pytest.raises(ValueError):
             L1Processor(arch).process_tile(np.zeros(4))
 
+    def test_explicit_zero_width_is_not_the_default(self, arch):
+        # Regression: ``output_width or tile_n`` silently promoted an
+        # explicit 0 to the 32-wide config default.
+        matrix = np.ones((4, 16), dtype=np.int32)
+        result = L1Processor(arch).process_tile(matrix, output_width=0)
+        assert result.pwp_bytes_prefetched == 0.0
+        assert result.pwp_bytes_unfiltered == 0.0
+
+    def test_explicit_zero_pattern_count_is_not_the_default(self, arch):
+        matrix = np.zeros((4, 16), dtype=np.int32)
+        result = L1Processor(arch).process_tile(
+            matrix, num_patterns_per_partition=0
+        )
+        assert result.pwp_bytes_unfiltered == 0.0
+
 
 class TestL2Processor:
     def test_cycles_track_pack_count(self, arch):
@@ -264,6 +279,28 @@ class TestL2Processor:
     def test_empty_packs(self, arch):
         result = L2Processor(arch).process_packs([])
         assert result.cycles == 0
+
+    def test_explicit_zero_width_is_not_the_default(self, arch):
+        # Regression: ``output_width or tile_n`` silently promoted an
+        # explicit 0 to the 32-wide config default.
+        pack = Pack(arch.pack_size)
+        pack.add_row([PackUnit(LABEL_NONZERO, 0, 1, 0), PackUnit(LABEL_PSUM, 0, 1, 0)])
+        result = L2Processor(arch).process_packs([pack], output_width=0)
+        assert result.weight_bytes_read == 0.0
+        assert result.psum_bytes_accessed == 0.0
+
+    def test_pack_counts_zero_width_matches_packs(self, arch):
+        pack = Pack(arch.pack_size)
+        pack.add_row([PackUnit(LABEL_NONZERO, 0, 1, 0), PackUnit(LABEL_PSUM, 0, 1, 0)])
+        from repro.hw.preprocessor import PackCounts
+
+        counts = PackCounts(
+            num_packs=1, weight_units=1, psum_units=1, cycles=1, evictions=0
+        )
+        by_counts = L2Processor(arch).process_pack_counts(counts, output_width=0)
+        by_packs = L2Processor(arch).process_packs([pack], output_width=0)
+        assert by_counts.weight_bytes_read == by_packs.weight_bytes_read == 0.0
+        assert by_counts.psum_bytes_accessed == by_packs.psum_bytes_accessed == 0.0
 
     def test_adder_tree(self):
         tree = ReconfigurableAdderTree(num_inputs=8, simd_width=32)

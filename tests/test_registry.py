@@ -33,7 +33,7 @@ EXPERIMENTS_DIR = (
 HARNESS_MODULES = sorted(
     path.stem
     for path in EXPERIMENTS_DIR.glob("*.py")
-    if re.fullmatch(r"fig\d+|table\d+|discussion", path.stem)
+    if re.fullmatch(r"fig\d+|table\d+|discussion|temporal", path.stem)
 )
 
 

@@ -143,6 +143,7 @@ class TestModelZoo:
             "sdt",
             "spikebert",
             "spikingbert",
+            "spikingrnn",
         }
 
     def test_unknown_model(self):
@@ -150,7 +151,11 @@ class TestModelZoo:
             build_model("alexnet")
 
     def test_paper_workloads_cover_all_models(self):
-        assert {spec.model_name for spec in PAPER_WORKLOADS} == set(available_models())
+        # Every paper workload has a zoo model; the zoo additionally holds
+        # the temporal-extension model, which the paper does not evaluate.
+        paper_models = {spec.model_name for spec in PAPER_WORKLOADS}
+        assert paper_models <= set(available_models())
+        assert set(available_models()) - paper_models == {"spikingrnn"}
 
     def test_vgg_forward(self, rng):
         network = build_spiking_vgg(num_classes=5, image_size=8, channels=(4, 8))
